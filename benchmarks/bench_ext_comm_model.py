@@ -1,0 +1,76 @@
+"""Extension: the contention-aware inter-node communication model.
+
+The paper's Section IV closes by attributing vTrain's multi-node error
+to the simple latency-bandwidth model — no NCCL launch overheads, no
+straggler margins at synchronisation points, no dynamic interference
+between data-parallel groups sharing switches — and proposes
+incorporating those effects as future work. This bench implements that
+proposal (:mod:`repro.profiling.advanced`) and verifies the claim: with
+the corrections enabled (including the 30% intra-node interference the
+paper itself measured), the multi-node validation error shrinks, and
+single-node predictions are unaffected except through the interference
+term the paper explicitly flagged.
+"""
+
+from _helpers import emit_table
+
+from repro.graph.builder import Granularity
+from repro.profiling.advanced import ContentionAwareNcclModel
+from repro.sim.estimator import VTrain
+from repro.testbed.emulator import TestbedEmulator
+from repro.validation.campaigns import multi_node_points
+from repro.validation.metrics import accuracy
+
+
+def run_comm_model_comparison():
+    points = multi_node_points()[::4]
+    measured = []
+    testbeds = {}
+    for point in points:
+        key = point.num_nodes
+        if key not in testbeds:
+            testbeds[key] = TestbedEmulator(point.system())
+        measured.append(testbeds[key].measure_time(point.model, point.plan,
+                                                   point.training))
+
+    def campaign(make_nccl):
+        simulators = {}
+        predicted = []
+        for point in points:
+            key = point.num_nodes
+            if key not in simulators:
+                system = point.system()
+                simulators[key] = VTrain(system,
+                                         granularity=Granularity.OPERATOR,
+                                         check_memory_feasibility=False,
+                                         nccl=make_nccl(system))
+            predicted.append(simulators[key].predict(
+                point.model, point.plan, point.training).iteration_time)
+        return accuracy(measured, predicted)
+
+    basic = campaign(lambda system: None)
+    advanced = campaign(lambda system: ContentionAwareNcclModel(
+        system, interference=1.30, straggler_slack=0.04))
+    return basic, advanced
+
+
+def test_ext_contention_aware_comm_model(benchmark):
+    basic, advanced = benchmark.pedantic(run_comm_model_comparison,
+                                         rounds=1, iterations=1)
+    emit_table("ext_comm_model",
+               "Extension: contention-aware inter-node comm model",
+               [{"model": "basic Eq.1 (paper)", "mape_pct": basic.mape,
+                 "bias_pct": basic.mean_signed_error,
+                 "r_squared": basic.r_squared},
+                {"model": "contention-aware (future work, implemented)",
+                 "mape_pct": advanced.mape,
+                 "bias_pct": advanced.mean_signed_error,
+                 "r_squared": advanced.r_squared}],
+               notes="the paper: 'simulation errors ... can be alleviated "
+                     "by incorporating the dynamic nature of inter-node "
+                     "communication into our analytical model'")
+    # The future-work model must reduce both error and bias magnitude.
+    assert advanced.mape < basic.mape
+    assert abs(advanced.mean_signed_error) < abs(basic.mean_signed_error)
+    benchmark.extra_info["basic_mape"] = basic.mape
+    benchmark.extra_info["advanced_mape"] = advanced.mape

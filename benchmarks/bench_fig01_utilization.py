@@ -1,0 +1,43 @@
+"""Figure 1: GPT-3 (175B) training time and cost vs GPU utilization.
+
+The paper's motivating curve: wall-clock training days on 1,024 A100s as
+a function of achieved compute utilization, with the 40% -> 50% gap worth
+about 8 days and millions of dollars.
+"""
+
+from _helpers import emit_table
+
+from repro.config.presets import GPT3_175B, GPT3_TRAINING
+from repro.cost.pricing import DEFAULT_PRICING
+from repro.hardware.gpu import A100_80GB
+from repro.sim.estimator import (cost_for_utilization,
+                                 training_days_for_utilization)
+
+NUM_GPUS = 1024
+UTILIZATIONS = [0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70]
+
+
+def run_figure1() -> list[dict]:
+    rows = []
+    for utilization in UTILIZATIONS:
+        days = training_days_for_utilization(
+            GPT3_175B, GPT3_TRAINING.total_tokens, NUM_GPUS, utilization,
+            A100_80GB.peak_fp16_flops)
+        dollars = cost_for_utilization(
+            GPT3_175B, GPT3_TRAINING.total_tokens, NUM_GPUS, utilization,
+            A100_80GB.peak_fp16_flops, pricing=DEFAULT_PRICING)
+        rows.append({"utilization_pct": 100 * utilization,
+                     "training_days": days,
+                     "cost_millions": dollars / 1e6})
+    return rows
+
+
+def test_fig01_training_time_vs_utilization(benchmark):
+    rows = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    emit_table("fig01_utilization", "Figure 1: GPT-3 175B on 1,024 A100s",
+               rows)
+    days = {row["utilization_pct"]: row["training_days"] for row in rows}
+    # The paper's headline: dropping 50% -> 40% utilization adds ~8 days.
+    gap = days[40.0] - days[50.0]
+    assert 5.0 < gap < 12.0
+    benchmark.extra_info["days_gap_40_to_50"] = gap

@@ -1,0 +1,68 @@
+"""Table II: scaled-down MT-NLG validation on 64/256/512 GPU systems.
+
+For each of the three Megatron scale-down models, the paper compares the
+plan published in Megatron-LM ([40]) against the plan vTrain's search
+uncovered, evaluating both with the simulator ("Predicted") and on the
+real cluster ("Measured" — our testbed emulator). The shape: the vTrain
+plan wins on both columns at every scale, by single-digit-to-low-teens
+percentages.
+"""
+
+from _helpers import emit_table
+
+from repro.config.parallelism import TrainingConfig
+from repro.config.presets import TABLE_II_ROWS
+from repro.config.system import multi_node
+from repro.graph.builder import Granularity
+from repro.sim.estimator import VTrain
+from repro.testbed.emulator import TestbedEmulator
+
+PAPER = {  # (predicted megatron, predicted ours, measured megatron, measured ours)
+    64: (2.919, 2.746, 3.938, 3.567),
+    256: (7.533, 7.259, 9.928, 9.604),
+    512: (13.859, 12.226, 14.757, 13.876),
+}
+
+
+def run_table2():
+    rows = []
+    for row in TABLE_II_ROWS:
+        system = multi_node(row.num_gpus // 8)
+        training = TrainingConfig(global_batch_size=row.global_batch_size)
+        vtrain = VTrain(system, granularity=Granularity.OPERATOR,
+                        check_memory_feasibility=False)
+        testbed = TestbedEmulator(system)
+        for label, plan in (("[40]", row.megatron_plan),
+                            ("Ours", row.vtrain_plan)):
+            predicted = vtrain.predict(row.model, plan,
+                                       training).iteration_time
+            measured = testbed.measure_time(row.model, plan, training)
+            rows.append({
+                "params_b": round(row.model.parameters_billion, 1),
+                "gpus": row.num_gpus, "source": label,
+                "t,d,p,m": f"({plan.tensor}, {plan.data}, {plan.pipeline}, "
+                           f"{plan.micro_batch_size})",
+                "predicted_s": predicted,
+                "measured_s": measured,
+            })
+    return rows
+
+
+def test_table2_scaledown_validation(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit_table("table2_scaledown",
+               "Table II: predicted vs measured, Megatron plans vs ours",
+               rows)
+    by_key = {(row["gpus"], row["source"]): row for row in rows}
+    for gpus in (64, 256, 512):
+        megatron = by_key[(gpus, "[40]")]
+        ours = by_key[(gpus, "Ours")]
+        # vTrain's plan wins on both predicted and measured time.
+        assert ours["predicted_s"] < megatron["predicted_s"]
+        assert ours["measured_s"] < megatron["measured_s"]
+        # Reduction magnitude in the paper's 3-12% band (give slack).
+        reduction = 1 - ours["measured_s"] / megatron["measured_s"]
+        assert 0.0 < reduction < 0.30
+        # Prediction underestimates measurement (profiled-in-isolation).
+        assert ours["predicted_s"] < ours["measured_s"]
+    benchmark.extra_info["rows"] = len(rows)

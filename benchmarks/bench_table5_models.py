@@ -1,0 +1,85 @@
+"""Table V: vTrain vs other performance-model classes.
+
+The paper's comparison table is qualitative; this bench makes it
+quantitative on our testbed: the profiling-driven simulator (vTrain), a
+Calculon-style fixed-efficiency analytical model, and an AMPeD-style
+fitted-efficiency model all predict the same held-out single-node
+configurations, and their MAPE against measured times is compared. The
+expected shape: vTrain < AMPeD-style < Calculon-style, with vTrain's
+per-prediction latency still in the interactive range.
+"""
+
+import time
+
+from _helpers import emit_table
+
+from repro.baselines.amped import AMPeDModel, CalibrationSample
+from repro.baselines.analytical import AnalyticalModel
+from repro.config.system import single_node
+from repro.graph.builder import Granularity
+from repro.sim.estimator import VTrain
+from repro.testbed.emulator import TestbedEmulator
+from repro.validation.campaigns import single_node_points
+from repro.validation.metrics import mape
+
+
+def run_table5():
+    system = single_node()
+    points = single_node_points()[::12]  # ~100 held-out configs
+    calibration_points = single_node_points()[5::97][:8]  # disjoint slice
+
+    testbed = TestbedEmulator(system)
+    vtrain = VTrain(system, granularity=Granularity.OPERATOR,
+                    check_memory_feasibility=False)
+    analytical = AnalyticalModel(system)
+    amped = AMPeDModel(system)
+    amped.fit([CalibrationSample(p.model, p.plan, p.training,
+                                 testbed.measure_time(p.model, p.plan,
+                                                      p.training))
+               for p in calibration_points])
+
+    measured, vtrain_pred, analytical_pred, amped_pred = [], [], [], []
+    timings = {"vTrain": 0.0, "Calculon-style": 0.0, "AMPeD-style": 0.0}
+    for point in points:
+        measured.append(testbed.measure_time(point.model, point.plan,
+                                             point.training))
+        start = time.perf_counter()
+        vtrain_pred.append(vtrain.predict(point.model, point.plan,
+                                          point.training).iteration_time)
+        timings["vTrain"] += time.perf_counter() - start
+        start = time.perf_counter()
+        analytical_pred.append(analytical.predict_iteration_time(
+            point.model, point.plan, point.training))
+        timings["Calculon-style"] += time.perf_counter() - start
+        start = time.perf_counter()
+        amped_pred.append(amped.predict_iteration_time(
+            point.model, point.plan, point.training))
+        timings["AMPeD-style"] += time.perf_counter() - start
+
+    rows = []
+    for label, predictions in (("vTrain", vtrain_pred),
+                               ("AMPeD-style", amped_pred),
+                               ("Calculon-style", analytical_pred)):
+        rows.append({"model": label,
+                     "validation_points": len(points),
+                     "mape_pct": mape(measured, predictions),
+                     "seconds_per_prediction":
+                         timings[label] / len(points)})
+    return rows
+
+
+def test_table5_model_comparison(benchmark):
+    rows = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    emit_table("table5_models",
+               "Table V: performance-model comparison on our testbed",
+               rows, notes="paper reports vTrain 8.37% single-node MAPE vs "
+                           "~12% for AMPeD and 3.65% (8 points) for "
+                           "Calculon")
+    errors = {row["model"]: row["mape_pct"] for row in rows}
+    # The profiling-driven simulator beats both baseline classes.
+    assert errors["vTrain"] < errors["AMPeD-style"]
+    assert errors["vTrain"] < errors["Calculon-style"]
+    # Still fast: well under a second per configuration (Section III-F).
+    speed = {row["model"]: row["seconds_per_prediction"] for row in rows}
+    assert speed["vTrain"] < 1.0
+    benchmark.extra_info.update(errors)

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def table_iii_profiles():
+    """ElasticFlow and vTrain throughput profiles for the Table III
+    models, shared across the three cluster benches (building them once
+    per session keeps the cluster benches fast)."""
+    from repro.cluster.throughput import (elasticflow_throughput_profile,
+                                          vtrain_throughput_profile)
+    from repro.config.presets import TABLE_III_MODELS
+    elasticflow = {spec.model.name: elasticflow_throughput_profile(spec)
+                   for spec in TABLE_III_MODELS}
+    vtrain = {spec.model.name: vtrain_throughput_profile(spec)
+              for spec in TABLE_III_MODELS}
+    return {"elasticflow": elasticflow, "vtrain": vtrain}

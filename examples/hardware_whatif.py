@@ -1,0 +1,64 @@
+"""What-if study: the same training plan across GPU generations.
+
+One of vTrain's selling points over fixed analytical models (Table V
+discussion) is that its profiling pipeline is device-agnostic: point the
+device model at different hardware and every downstream number — kernel
+times, collective latencies, iteration time, cost — follows. This
+example re-prices a 39.1B-parameter training run on V100, A100 and H100
+class systems.
+
+Run:
+    python examples/hardware_whatif.py
+"""
+
+from repro import Granularity, ParallelismConfig, TrainingConfig, VTrain
+from repro.config.presets import MEGATRON_39_1B
+from repro.config.system import multi_node
+from repro.cost.pricing import PricingModel
+from repro.hardware.gpu import A100_80GB, H100_80GB, V100_32GB
+
+#: Rough on-demand $/GPU-hour by generation (A100 = the paper's $5).
+PRICES = {V100_32GB.name: 3.06, A100_80GB.name: 5.00, H100_80GB.name: 12.29}
+
+PLAN = ParallelismConfig(tensor=8, data=32, pipeline=2, micro_batch_size=4)
+TRAINING = TrainingConfig(global_batch_size=1536,
+                          total_tokens=780_000_000_000)  # ~20 x params
+
+
+def main() -> None:
+    print(f"Workload: {MEGATRON_39_1B.describe()}")
+    print(f"Plan:     {PLAN.describe()} on {PLAN.total_gpus} GPUs, "
+          f"{TRAINING.total_tokens / 1e9:.0f}B tokens\n")
+    header = (f"{'GPU':<16} {'iter (s)':>9} {'util %':>7} {'days':>7} "
+              f"{'$/hr':>8} {'total $M':>9}")
+    print(header)
+    print("-" * len(header))
+    rows = {}
+    for gpu in (V100_32GB, A100_80GB, H100_80GB):
+        system = multi_node(PLAN.total_gpus // 8, gpu=gpu)
+        vtrain = VTrain(system, granularity=Granularity.STAGE,
+                        check_memory_feasibility=False)
+        estimate = vtrain.estimate_training(
+            MEGATRON_39_1B, PLAN, TRAINING,
+            pricing=PricingModel(PRICES[gpu.name]))
+        rows[gpu.name] = estimate
+        print(f"{gpu.name:<16} {estimate.iteration_time:>9.2f} "
+              f"{100 * estimate.gpu_compute_utilization:>7.1f} "
+              f"{estimate.total_days:>7.1f} "
+              f"{estimate.dollars_per_hour:>8,.0f} "
+              f"{estimate.dollars_total / 1e6:>9.2f}")
+
+    a100 = rows[A100_80GB.name]
+    h100 = rows[H100_80GB.name]
+    speedup = a100.iteration_time / h100.iteration_time
+    print(f"\nH100 runs {speedup:.1f}x faster per iteration; whether it is "
+          "cheaper end-to-end depends on the rate you pay for it — "
+          "exactly the time-vs-cost trade-off the paper's case study #1 "
+          "navigates. Note the utilization drop on H100: the same model "
+          "shards feed proportionally wider tensor cores, so comm and "
+          "memory-bound kernels claim a bigger share (the profiling "
+          "pipeline captures this without any refitting).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Case study #2: vTrain-enabled multi-tenant GPU cluster scheduling.
+
+Replays one synthetic workload trace (Table III models, ITP-style
+arrivals) on a 1,024-GPU cluster twice: once with the baseline
+ElasticFlow scheduler (throughput profiles restricted to data-parallel
+scaling) and once with vTrain-optimal profiles — the Section V-B
+experiment on a single trace.
+
+Run:
+    python examples/multi_tenant_cluster.py
+"""
+
+from repro.cluster import (ClusterSimulator, ElasticFlowScheduler,
+                           average_jct, completed_fraction,
+                           deadline_satisfactory_ratio,
+                           elasticflow_throughput_profile, synthesize_trace,
+                           vtrain_throughput_profile)
+from repro.config.presets import TABLE_III_MODELS
+
+TOTAL_GPUS = 1024
+NUM_JOBS = 64
+TRACE_ID = 1
+
+
+def main() -> None:
+    print("Building throughput profiles for the Table III models...")
+    elasticflow_profiles = {}
+    vtrain_profiles = {}
+    for spec in TABLE_III_MODELS:
+        elasticflow_profiles[spec.model.name] = \
+            elasticflow_throughput_profile(spec)
+        vtrain_profiles[spec.model.name] = vtrain_throughput_profile(spec)
+        ef = elasticflow_profiles[spec.model.name]
+        vt = vtrain_profiles[spec.model.name]
+        gain = vt.rate(ef.min_gpus) / ef.rate(ef.min_gpus)
+        print(f"  {spec.model.name}: min alloc {ef.min_gpus} GPUs, "
+              f"vTrain plan {100 * (gain - 1):.0f} % faster at that size")
+
+    jobs = synthesize_trace(TRACE_ID, NUM_JOBS, elasticflow_profiles)
+    print(f"\nTrace {TRACE_ID}: {NUM_JOBS} jobs over "
+          f"{jobs[-1].arrival_time / 3600:.0f} hours, deadlines at "
+          "lambda x duration (lambda ~ U[0.5, 1.5])")
+
+    print(f"\n{'system':<14} {'deadline ratio':>15} {'completed':>10} "
+          f"{'avg JCT (h)':>12} {'cluster util':>13}")
+    for label, profiles in (("ElasticFlow", elasticflow_profiles),
+                            ("vTrain", vtrain_profiles)):
+        scheduler = ElasticFlowScheduler(profiles, TOTAL_GPUS)
+        result = ClusterSimulator(scheduler).run(jobs)
+        jct_hours = (average_jct(result) / 3600
+                     if completed_fraction(result) > 0 else float("nan"))
+        print(f"{label:<14} {deadline_satisfactory_ratio(result):>15.3f} "
+              f"{completed_fraction(result):>10.3f} {jct_hours:>12.1f} "
+              f"{result.cluster_utilization():>13.2f}")
+
+    print("\nThe vTrain-enabled system schedules with knowledge of the "
+          "optimal (t, d, p, m) plan at every allocation size, so it "
+          "satisfies at least as many deadlines as the DP-only baseline "
+          "(paper: 1.09x / 1.23x average improvement at 64 / 128 jobs).")
+
+
+if __name__ == "__main__":
+    main()

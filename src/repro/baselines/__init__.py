@@ -1,0 +1,17 @@
+"""Baseline performance models and heuristic plan choosers."""
+
+from repro.baselines.amped import AMPeDModel, CalibrationSample
+from repro.baselines.analytical import AnalyticalModel, AnalyticalModelConfig
+from repro.baselines.heuristic import (heuristic_plan,
+                                       heuristic_tensor_degree,
+                                       minimal_model_parallel_footprint)
+
+__all__ = [
+    "AMPeDModel",
+    "AnalyticalModel",
+    "AnalyticalModelConfig",
+    "CalibrationSample",
+    "heuristic_plan",
+    "heuristic_tensor_degree",
+    "minimal_model_parallel_footprint",
+]

@@ -1,0 +1,137 @@
+"""Calculon-style analytical performance model (Table V comparator).
+
+Calculon (Isaev et al., SC'23) predicts LLM training time from closed-form
+FLOP and byte counts with an assumed sustained-efficiency factor — no
+profiling. The paper contrasts vTrain with it on two axes: validation
+breadth and the inability of a fixed analytical implementation model to
+track framework-level changes. This module implements that class of
+model so Table V's comparison can be reproduced quantitatively against
+our testbed: the analytical model shares vTrain's parallelism algebra but
+replaces the profiled kernel/collective latencies with first-principles
+estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, RecomputeMode,
+                                      TrainingConfig, layers_per_stage,
+                                      num_micro_batches, validate_plan)
+from repro.config.system import SystemConfig
+from repro.graph.pipeline import pipeline_bubble_fraction
+from repro.hardware.cluster import ClusterTopology
+from repro.hardware.interconnect import LinkType
+
+
+@dataclass(frozen=True)
+class AnalyticalModelConfig:
+    """Knobs of the analytical comparator.
+
+    Attributes:
+        compute_efficiency: Assumed sustained fraction of peak FLOPS for
+            all compute (Calculon's single-number efficiency assumption —
+            precisely what profiling replaces in vTrain).
+        intranode_bus_bandwidth_fraction: Assumed NVLink bus-bandwidth
+            fraction for intra-node collectives.
+    """
+
+    compute_efficiency: float = 0.55
+    intranode_bus_bandwidth_fraction: float = 0.80
+
+
+class AnalyticalModel:
+    """Closed-form iteration-time estimator (no profiling)."""
+
+    def __init__(self, system: SystemConfig,
+                 config: AnalyticalModelConfig = AnalyticalModelConfig(),
+                 ) -> None:
+        self.system = system
+        self.config = config
+
+    def predict_iteration_time(self, model: ModelConfig,
+                               plan: ParallelismConfig,
+                               training: TrainingConfig) -> float:
+        """Predicted single-iteration time in seconds."""
+        validate_plan(model, plan, training, plan.total_gpus)
+        nmb = num_micro_batches(plan, training)
+        lps = layers_per_stage(model, plan)
+        stage_fwd = self._stage_forward_time(model, plan, lps)
+        backward_ratio = 2.0
+        if plan.recompute is RecomputeMode.FULL:
+            backward_ratio = 3.0
+        elif plan.recompute is RecomputeMode.SELECTIVE:
+            backward_ratio = 2.2
+        stage_bwd = stage_fwd * backward_ratio
+        per_micro = stage_fwd + stage_bwd
+        # Pipeline fill/drain: (NMB + p - 1) chunk slots on the critical
+        # stage; equivalently steady time divided by (1 - bubble).
+        bubble = pipeline_bubble_fraction(plan.pipeline, nmb)
+        pipeline_time = nmb * per_micro / (1.0 - bubble)
+        return (pipeline_time + self._dp_allreduce_time(model, plan)
+                + self._weight_update_time(model, plan))
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def _stage_forward_time(self, model: ModelConfig,
+                            plan: ParallelismConfig, lps: int) -> float:
+        """Forward time of one stage for one micro-batch."""
+        tokens = plan.micro_batch_size * model.seq_length
+        h, s = model.hidden_size, model.seq_length
+        layer_flops = tokens * (24.0 * h * h * (1.0 + s / (6.0 * h)))
+        per_gpu = layer_flops / plan.tensor
+        rate = (self.system.gpu.peak_fp16_flops
+                * self.config.compute_efficiency)
+        compute = lps * per_gpu / rate
+        comm = lps * 2.0 * self._tp_allreduce_time(model, plan)
+        # Embedding + LM head amortised over stages (Calculon-style
+        # smearing rather than stage-0/stage-(p-1) placement).
+        head_flops = 6.0 * tokens * h * model.vocab_size / plan.tensor
+        compute += head_flops / rate / plan.pipeline
+        return compute + comm
+
+    def _tp_allreduce_time(self, model: ModelConfig,
+                           plan: ParallelismConfig) -> float:
+        """One tensor-parallel All-Reduce (Equation-1 style, no table)."""
+        if plan.tensor == 1:
+            return 0.0
+        size = 2.0 * plan.micro_batch_size * model.seq_length * model.hidden_size
+        topology = ClusterTopology(self.system, plan)
+        if topology.tensor_link() is LinkType.INTRA_NODE:
+            bandwidth = (self.system.gpu.nvlink_bandwidth
+                         * self.config.intranode_bus_bandwidth_fraction)
+        else:
+            bandwidth = self.system.effective_internode_bandwidth
+        n = plan.tensor
+        return size / bandwidth * 2.0 * (n - 1) / n
+
+    def _dp_allreduce_time(self, model: ModelConfig,
+                           plan: ParallelismConfig) -> float:
+        """Exposed gradient All-Reduce tail (assumes perfect bucketing
+        overlap except for the final bucket)."""
+        if plan.data == 1:
+            return 0.0
+        params = (layers_per_stage(model, plan)
+                  * model.params_per_layer() // plan.tensor
+                  + model.embedding_params() // plan.tensor)
+        size = 2.0 * params
+        exposed_fraction = (1.0 / plan.num_gradient_buckets
+                            if plan.gradient_bucketing else 1.0)
+        topology = ClusterTopology(self.system, plan)
+        if topology.data_link() is LinkType.INTRA_NODE:
+            bandwidth = (self.system.gpu.nvlink_bandwidth
+                         * self.config.intranode_bus_bandwidth_fraction)
+        else:
+            bandwidth = self.system.effective_internode_bandwidth
+        n = plan.data
+        return size * exposed_fraction / bandwidth * 2.0 * (n - 1) / n
+
+    def _weight_update_time(self, model: ModelConfig,
+                            plan: ParallelismConfig) -> float:
+        """Optimizer step: streaming 28 B per parameter."""
+        params = (layers_per_stage(model, plan)
+                  * model.params_per_layer() // plan.tensor
+                  + model.embedding_params() // plan.tensor)
+        return 28.0 * params / self.system.gpu.memory_bandwidth

@@ -1,0 +1,102 @@
+"""Megatron-style heuristic training-plan chooser.
+
+The paper's motivation (Section I): practitioners pick 3D-parallel plans
+from "previously validated, known-good, yet sub-optimal heuristic based
+training recipes". This module encodes that recipe so case studies can
+quantify what vTrain's search wins over it:
+
+1. Tensor parallelism fills the NVLink domain first — ``t`` is the
+   largest power of two that divides the attention heads, up to the node
+   size (8), but no larger than needed for very small models.
+2. Pipeline parallelism grows just enough for the model states to fit
+   in GPU memory.
+3. Whatever budget remains becomes data parallelism.
+4. The micro-batch size is fixed small (1 or 2) to bound pipeline
+   bubbles.
+"""
+
+from __future__ import annotations
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.system import SystemConfig
+from repro.dse.space import divisors, powers_of_two
+from repro.errors import InfeasibleConfigError
+from repro.memory.footprint import fits_in_memory
+
+
+def heuristic_tensor_degree(model: ModelConfig,
+                            gpus_per_node: int = 8) -> int:
+    """Step 1: largest valid tensor degree within the node.
+
+    Models under ~5B parameters keep ``t`` small (their GEMMs are too
+    narrow to amortise All-Reduce), mirroring Megatron practice.
+    """
+    ceiling = gpus_per_node
+    if model.num_parameters() < 5e9:
+        ceiling = 2
+    elif model.num_parameters() < 15e9:
+        ceiling = 4
+    best = 1
+    for t in powers_of_two(ceiling):
+        if model.num_heads % t == 0 and model.ffn_hidden_size % t == 0:
+            best = t
+    return best
+
+
+def heuristic_plan(model: ModelConfig, training: TrainingConfig,
+                   num_gpus: int, system: SystemConfig, *,
+                   micro_batch_size: int = 1) -> ParallelismConfig:
+    """The full heuristic recipe for a GPU budget.
+
+    Raises:
+        InfeasibleConfigError: If no (t, d, p) split of ``num_gpus``
+            satisfies memory and batch constraints.
+    """
+    t = heuristic_tensor_degree(model, system.gpus_per_node)
+    while t > 1 and num_gpus % t:
+        t //= 2
+    remaining = num_gpus // t
+    for p in divisors(model.num_layers):
+        if remaining % p:
+            continue
+        d = remaining // p
+        if training.global_batch_size % d:
+            continue
+        per_replica = training.global_batch_size // d
+        m = micro_batch_size if per_replica % micro_batch_size == 0 else 1
+        plan = ParallelismConfig(tensor=t, data=d, pipeline=p,
+                                 micro_batch_size=m)
+        if fits_in_memory(model, plan, training, system):
+            return plan
+    raise InfeasibleConfigError(
+        f"heuristic found no feasible plan for {model.describe()} on "
+        f"{num_gpus} GPUs")
+
+
+def minimal_model_parallel_footprint(model: ModelConfig,
+                                     training: TrainingConfig,
+                                     system: SystemConfig, *,
+                                     micro_batch_size: int = 1,
+                                     ) -> tuple[int, int]:
+    """Smallest (t, p) able to hold the model — ElasticFlow's fixed base.
+
+    ElasticFlow explores only data parallelism (Section V-B); for LLMs
+    that do not fit a single GPU, the paper grants it the minimum
+    tensor/pipeline degree per model and lets it scale ``d`` only. The
+    pair follows Megatron practice — fill the NVLink domain with tensor
+    parallelism first, then grow the pipeline just enough to fit — so
+    the paper's example (39.1B -> 8-way TP, 2-way PP, i.e. 16 x d GPUs)
+    is reproduced exactly.
+    """
+    for t in reversed(powers_of_two(system.gpus_per_node)):
+        if model.num_heads % t or model.ffn_hidden_size % t:
+            continue
+        for p in divisors(model.num_layers):
+            plan = ParallelismConfig(tensor=t, data=1, pipeline=p,
+                                     micro_batch_size=micro_batch_size)
+            if fits_in_memory(model, plan, training, system):
+                return (t, p)
+        break  # only the widest valid tensor degree defines the base
+    raise InfeasibleConfigError(
+        f"{model.describe()} does not fit even at maximum model parallelism")

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``predict <description.json>`` — run one simulation from a vTrain-style
+  input description file and print iteration time, utilization, memory,
+  and (if the description carries a token budget) days and dollars.
+* ``example <name>`` — write a ready-to-edit description file for a
+  preset model (``gpt3-175b``, ``mt-nlg-530b``, ...).
+* ``presets`` — list the bundled model presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.config.description import InputDescription
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.presets import MODEL_ZOO
+from repro.config.system import multi_node
+from repro.errors import ReproError
+from repro.graph.builder import Granularity
+from repro.sim.estimator import VTrain
+
+GIB = float(1 << 30)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vTrain reproduction: profiling-driven LLM training "
+                    "simulation")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    predict = commands.add_parser(
+        "predict", help="simulate one input description file")
+    predict.add_argument("description", type=Path,
+                         help="path to a JSON input description")
+    predict.add_argument("--granularity", default="operator",
+                         choices=[g.value for g in Granularity],
+                         help="execution-graph detail level")
+    predict.add_argument("--no-memory-check", action="store_true",
+                         help="skip the per-GPU memory feasibility check")
+
+    example = commands.add_parser(
+        "example", help="write an editable example description file")
+    example.add_argument("model", choices=_preset_keys(),
+                         help="preset model to describe")
+    example.add_argument("--output", type=Path, default=Path("vtrain.json"),
+                         help="where to write the description")
+
+    commands.add_parser("presets", help="list bundled model presets")
+    return parser
+
+
+def _preset_keys() -> list[str]:
+    return sorted(name.lower().replace(" ", "-") for name in MODEL_ZOO)
+
+
+def _preset_by_key(key: str) -> ModelConfig:
+    for name, model in MODEL_ZOO.items():
+        if name.lower().replace(" ", "-") == key:
+            return model
+    raise ReproError(f"unknown preset {key!r}")
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    description = InputDescription.load(args.description)
+    description.validate()
+    vtrain = VTrain(description.system,
+                    granularity=Granularity(args.granularity),
+                    check_memory_feasibility=not args.no_memory_check)
+    prediction = vtrain.predict(description.model, description.plan,
+                                description.training)
+    print(f"model            : {description.model.describe()}")
+    print(f"system           : {description.system.describe()}")
+    print(f"plan             : {description.plan.describe()}")
+    print(f"iteration time   : {prediction.iteration_time:.4f} s")
+    print(f"utilization      : "
+          f"{100 * prediction.gpu_compute_utilization:.2f} %")
+    print(f"memory per GPU   : {prediction.memory_per_gpu / GIB:.2f} GiB")
+    if description.training.total_tokens:
+        estimate = vtrain.estimate_training(description.model,
+                                            description.plan,
+                                            description.training)
+        print(f"iterations       : {estimate.num_iterations:,}")
+        print(f"training time    : {estimate.total_days:.2f} days")
+        print(f"cost             : ${estimate.dollars_total:,.0f} "
+              f"(${estimate.dollars_per_hour:,.0f}/hour)")
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    model = _preset_by_key(args.model)
+    plan = ParallelismConfig(tensor=min(8, model.num_heads), data=4,
+                             pipeline=1)
+    while model.num_heads % plan.tensor:
+        plan = plan.replaced(tensor=plan.tensor // 2)
+    nodes = max(1, plan.total_gpus // 8)
+    description = InputDescription(
+        model=model, system=multi_node(nodes), plan=plan,
+        training=TrainingConfig(global_batch_size=64,
+                                total_tokens=1_000_000_000))
+    description.save(args.output)
+    print(f"wrote {args.output} — edit the plan/system and run:")
+    print(f"  python -m repro predict {args.output}")
+    return 0
+
+
+def _cmd_presets(_args: argparse.Namespace) -> int:
+    for name in sorted(MODEL_ZOO):
+        print(f"{name.lower().replace(' ', '-'):<18} "
+              f"{MODEL_ZOO[name].describe()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"predict": _cmd_predict, "example": _cmd_example,
+                "presets": _cmd_presets}
+    try:
+        return handlers[args.command](args)
+    except (ReproError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Multi-tenant GPU cluster scheduling (paper case study #2)."""
+
+from repro.cluster.job import JobOutcome, JobSpec
+from repro.cluster.metrics import (average_jct, completed_fraction,
+                                   deadline_satisfactory_ratio, makespan)
+from repro.cluster.scheduler import ElasticFlowScheduler, SchedulableJob
+from repro.cluster.simulator import ClusterRunResult, ClusterSimulator
+from repro.cluster.throughput import (DEFAULT_GPU_COUNTS, ThroughputProfile,
+                                      clear_profile_cache,
+                                      elasticflow_throughput_profile,
+                                      vtrain_throughput_profile)
+from repro.cluster.trace import makespan_trace, synthesize_trace
+
+__all__ = [
+    "ClusterRunResult",
+    "ClusterSimulator",
+    "DEFAULT_GPU_COUNTS",
+    "ElasticFlowScheduler",
+    "JobOutcome",
+    "JobSpec",
+    "SchedulableJob",
+    "ThroughputProfile",
+    "average_jct",
+    "clear_profile_cache",
+    "completed_fraction",
+    "deadline_satisfactory_ratio",
+    "elasticflow_throughput_profile",
+    "makespan",
+    "makespan_trace",
+    "synthesize_trace",
+    "vtrain_throughput_profile",
+]

@@ -1,0 +1,85 @@
+"""Training-job descriptions for the multi-tenant cluster study.
+
+A job is *serverless* (Section V-B): the submitter names the model it
+wants trained, how many iterations it needs, and optionally a completion
+deadline — all systems decisions (GPU count, parallelization plan) are
+left to the cluster scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submitted LLM training job.
+
+    Attributes:
+        job_id: Unique identifier within a trace.
+        model_name: Key into the scheduler's throughput profiles (a
+            Table III model).
+        num_iterations: Training iterations the job must complete.
+        arrival_time: Submission time (seconds since trace start).
+        deadline: Absolute completion deadline, or None for best-effort.
+        standalone_duration: The job's runtime at its reference
+            allocation; deadlines were drawn as ``lambda * duration``
+            relative to this (Section V-B).
+    """
+
+    job_id: int
+    model_name: str
+    num_iterations: int
+    arrival_time: float
+    deadline: float | None = None
+    standalone_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_iterations <= 0:
+            raise ConfigError("num_iterations must be positive")
+        if self.arrival_time < 0:
+            raise ConfigError("arrival_time must be non-negative")
+        if self.deadline is not None and self.deadline <= self.arrival_time:
+            raise ConfigError("deadline must be after arrival")
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Final fate of one job after a cluster run.
+
+    Attributes:
+        spec: The submitted job.
+        completion_time: When it finished, or None if terminated.
+        terminated: True if the scheduler gave up on it (ElasticFlow
+            terminates jobs that cannot meet their deadline).
+        gpu_seconds: Total GPU-seconds consumed.
+    """
+
+    spec: JobSpec
+    completion_time: float | None
+    terminated: bool
+    gpu_seconds: float
+
+    @property
+    def completed(self) -> bool:
+        """Whether the job ran to completion."""
+        return self.completion_time is not None
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether the job finished within its deadline (False when it
+        never completed; True for best-effort jobs that completed)."""
+        if not self.completed:
+            return False
+        if self.spec.deadline is None:
+            return True
+        return self.completion_time <= self.spec.deadline + 1e-6
+
+    @property
+    def jct(self) -> float | None:
+        """Job completion time: arrival to completion (None if killed)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.spec.arrival_time

@@ -1,0 +1,44 @@
+"""Scheduling metrics: deadline ratio, JCT, makespan (Figures 12-14)."""
+
+from __future__ import annotations
+
+from repro.cluster.simulator import ClusterRunResult
+from repro.errors import SchedulingError
+
+
+def deadline_satisfactory_ratio(result: ClusterRunResult) -> float:
+    """Fraction of jobs that met their deadline (Figure 12's metric)."""
+    if result.num_jobs == 0:
+        raise SchedulingError("no jobs in result")
+    met = sum(1 for outcome in result.outcomes if outcome.met_deadline)
+    return met / result.num_jobs
+
+
+def average_jct(result: ClusterRunResult) -> float:
+    """Mean job completion time over completed jobs (Figure 13's metric).
+
+    The paper derives JCT on deadline-free traces, where every job
+    eventually completes; terminated jobs would artificially lower JCT.
+    """
+    jcts = [outcome.jct for outcome in result.outcomes
+            if outcome.jct is not None]
+    if not jcts:
+        raise SchedulingError("no completed jobs; JCT undefined")
+    return sum(jcts) / len(jcts)
+
+
+def makespan(result: ClusterRunResult) -> float:
+    """Time until the last job completes (Figure 14's metric)."""
+    times = [outcome.completion_time for outcome in result.outcomes
+             if outcome.completion_time is not None]
+    if not times:
+        raise SchedulingError("no completed jobs; makespan undefined")
+    return max(times)
+
+
+def completed_fraction(result: ClusterRunResult) -> float:
+    """Fraction of jobs that ran to completion (not terminated)."""
+    if result.num_jobs == 0:
+        raise SchedulingError("no jobs in result")
+    done = sum(1 for outcome in result.outcomes if outcome.completed)
+    return done / result.num_jobs

@@ -1,0 +1,149 @@
+"""ElasticFlow-style deadline-aware elastic GPU scheduling (Section V-B).
+
+The paper implements "the exact same scheduling algorithm ElasticFlow
+proposes" for both systems; only the throughput profiles differ. The
+algorithm, per scheduling event:
+
+1. **Admission / minimum shares** (deadline mode): jobs are considered
+   in earliest-deadline-first order; each admitted job receives the
+   *smallest* profiled allocation that can still meet its deadline.
+   Jobs whose deadline is unreachable even at maximum allocation — or
+   for which no capacity remains — receive nothing and will be
+   terminated when their deadline passes (ElasticFlow declines them).
+2. **Surplus distribution**: remaining GPUs go, step by step, to the
+   job with the highest marginal throughput gain per GPU, moving each
+   job up its profile's candidate ladder (power-of-two allocations).
+
+In best-effort mode (the JCT and makespan studies, which the paper runs
+deadline-free), step 1 degenerates to FIFO minimum allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.throughput import ThroughputProfile
+from repro.errors import SchedulingError
+
+
+@dataclass
+class SchedulableJob:
+    """Scheduler view of an active job."""
+
+    job_id: int
+    model_name: str
+    remaining_iterations: float
+    arrival_time: float
+    deadline: float | None
+
+    def time_budget(self, now: float) -> float | None:
+        """Seconds left until the deadline (None if best-effort)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - now
+
+
+class ElasticFlowScheduler:
+    """Deadline-aware elastic allocator over throughput profiles.
+
+    Args:
+        profiles: Per-model throughput curves. The *baseline* system
+            passes DP-only profiles; the *vTrain-enabled* system passes
+            optimal-plan profiles. Everything else is identical.
+        total_gpus: Cluster capacity (the paper uses 1,024).
+    """
+
+    def __init__(self, profiles: dict[str, ThroughputProfile],
+                 total_gpus: int) -> None:
+        if total_gpus <= 0:
+            raise SchedulingError("total_gpus must be positive")
+        self.profiles = profiles
+        self.total_gpus = total_gpus
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def allocate(self, jobs: list[SchedulableJob],
+                 now: float) -> dict[int, int]:
+        """GPU allocation for every active job at a scheduling event."""
+        allocation = {job.job_id: 0 for job in jobs}
+        capacity = self.total_gpus
+        admitted: list[SchedulableJob] = []
+
+        for job in self._admission_order(jobs):
+            minimum = self._minimum_satisfactory_share(job, now)
+            if minimum is None or minimum > capacity:
+                continue  # declined this round (terminated at deadline)
+            allocation[job.job_id] = minimum
+            capacity -= minimum
+            admitted.append(job)
+
+        capacity = self._distribute_surplus(admitted, allocation, capacity)
+        return allocation
+
+    # ------------------------------------------------------------------
+    # Step 1: admission and minimum shares
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _admission_order(jobs: list[SchedulableJob]) -> list[SchedulableJob]:
+        """EDF for deadline jobs, then FIFO for best-effort jobs."""
+        with_deadline = sorted((j for j in jobs if j.deadline is not None),
+                               key=lambda j: (j.deadline, j.job_id))
+        best_effort = sorted((j for j in jobs if j.deadline is None),
+                             key=lambda j: (j.arrival_time, j.job_id))
+        return with_deadline + best_effort
+
+    def _profile(self, job: SchedulableJob) -> ThroughputProfile:
+        try:
+            return self.profiles[job.model_name]
+        except KeyError:
+            raise SchedulingError(
+                f"no throughput profile for model {job.model_name!r}") from None
+
+    def _minimum_satisfactory_share(self, job: SchedulableJob,
+                                    now: float) -> int | None:
+        """Smallest allocation meeting the deadline (min_gpus if none).
+
+        Returns None when even the maximum profiled allocation cannot
+        finish the job in time — ElasticFlow's infeasibility test.
+        """
+        profile = self._profile(job)
+        budget = job.time_budget(now)
+        if budget is None:
+            return profile.min_gpus
+        if budget <= 0:
+            return None
+        for count in profile.candidates:
+            rate = profile.rate(count)
+            if rate > 0 and job.remaining_iterations / rate <= budget:
+                return count
+        return None
+
+    # ------------------------------------------------------------------
+    # Step 2: marginal-gain surplus distribution
+    # ------------------------------------------------------------------
+    def _distribute_surplus(self, admitted: list[SchedulableJob],
+                            allocation: dict[int, int],
+                            capacity: int) -> int:
+        """Climb profile ladders by best marginal throughput per GPU."""
+        while capacity > 0:
+            best_job: SchedulableJob | None = None
+            best_gain = 0.0
+            best_step = 0
+            for job in admitted:
+                profile = self._profile(job)
+                current = allocation[job.job_id]
+                nxt = profile.next_step(current)
+                if nxt is None or nxt - current > capacity:
+                    continue
+                gain = (profile.rate(nxt) - profile.rate(current)) / (
+                    nxt - current)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_job = job
+                    best_step = nxt
+            if best_job is None:
+                break
+            capacity -= best_step - allocation[best_job.job_id]
+            allocation[best_job.job_id] = best_step
+        return capacity

@@ -1,0 +1,162 @@
+"""Event-driven multi-tenant GPU cluster simulator (Section V-B).
+
+Simulates "the entire lifetime of a training job, from its arrival to
+its completion" on a shared cluster (the paper uses 128 nodes / 1,024
+A100s). Events are job arrivals, projected completions, and deadline
+expirations; between events every running job progresses at the rate its
+current allocation sustains (from its throughput profile). At each event
+the scheduler re-plans allocations — elastic scaling.
+
+Deadline enforcement follows ElasticFlow: a job whose deadline passes
+unfinished is terminated (which is why the paper evaluates JCT on
+deadline-free traces separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.job import JobOutcome, JobSpec
+from repro.cluster.scheduler import ElasticFlowScheduler, SchedulableJob
+from repro.errors import SchedulingError
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class _RunningJob:
+    spec: JobSpec
+    remaining: float
+    gpus: int = 0
+    gpu_seconds: float = 0.0
+
+
+@dataclass
+class ClusterRunResult:
+    """Outcome of one trace replay on one scheduler configuration."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    total_gpus: int = 0
+    horizon: float = 0.0
+
+    @property
+    def num_jobs(self) -> int:
+        """Jobs submitted in the trace."""
+        return len(self.outcomes)
+
+    def cluster_utilization(self) -> float:
+        """Busy GPU-seconds over capacity x horizon."""
+        if self.horizon <= 0 or self.total_gpus <= 0:
+            return 0.0
+        busy = sum(outcome.gpu_seconds for outcome in self.outcomes)
+        return busy / (self.total_gpus * self.horizon)
+
+
+class ClusterSimulator:
+    """Replays a job trace against one scheduler."""
+
+    def __init__(self, scheduler: ElasticFlowScheduler) -> None:
+        self.scheduler = scheduler
+
+    def run(self, jobs: list[JobSpec]) -> ClusterRunResult:
+        """Simulate the full lifetime of every job in the trace."""
+        pending = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        active: dict[int, _RunningJob] = {}
+        outcomes: dict[int, JobOutcome] = {}
+        now = 0.0
+        max_events = 200 * max(1, len(jobs)) + 1000
+        events = 0
+
+        while pending or active:
+            events += 1
+            if events > max_events:
+                raise SchedulingError(
+                    "cluster simulation exceeded its event budget "
+                    "(allocation livelock?)")
+
+            # Admit arrivals due now.
+            while pending and pending[0].arrival_time <= now + _EPSILON:
+                spec = pending.pop(0)
+                active[spec.job_id] = _RunningJob(
+                    spec=spec, remaining=float(spec.num_iterations))
+
+            # Terminate jobs whose deadline has passed (ElasticFlow).
+            for job_id in list(active):
+                job = active[job_id]
+                if (job.spec.deadline is not None
+                        and now >= job.spec.deadline - _EPSILON
+                        and job.remaining > _EPSILON):
+                    outcomes[job_id] = JobOutcome(
+                        spec=job.spec, completion_time=None, terminated=True,
+                        gpu_seconds=job.gpu_seconds)
+                    del active[job_id]
+
+            # Re-plan allocations.
+            views = [SchedulableJob(job_id=j.spec.job_id,
+                                    model_name=j.spec.model_name,
+                                    remaining_iterations=j.remaining,
+                                    arrival_time=j.spec.arrival_time,
+                                    deadline=j.spec.deadline)
+                     for j in active.values()]
+            allocation = self.scheduler.allocate(views, now)
+            for job_id, job in active.items():
+                job.gpus = allocation.get(job_id, 0)
+
+            # Next event: arrival, completion, or deadline.
+            next_time = self._next_event_time(pending, active, now)
+            if next_time is None:
+                if active:
+                    # Jobs exist but nothing can ever progress them.
+                    for job_id, job in list(active.items()):
+                        outcomes[job_id] = JobOutcome(
+                            spec=job.spec, completion_time=None,
+                            terminated=True, gpu_seconds=job.gpu_seconds)
+                        del active[job_id]
+                break
+
+            # Progress running jobs to the event time.
+            delta = max(0.0, next_time - now)
+            for job_id in list(active):
+                job = active[job_id]
+                rate = self._rate(job)
+                job.remaining -= rate * delta
+                job.gpu_seconds += job.gpus * delta
+                if job.remaining <= _EPSILON:
+                    outcomes[job_id] = JobOutcome(
+                        spec=job.spec, completion_time=next_time,
+                        terminated=False, gpu_seconds=job.gpu_seconds)
+                    del active[job_id]
+            now = next_time
+
+        horizon = max((outcome.completion_time or outcome.spec.deadline
+                       or outcome.spec.arrival_time
+                       for outcome in outcomes.values()), default=0.0)
+        ordered = [outcomes[spec.job_id]
+                   for spec in sorted(jobs, key=lambda j: j.job_id)]
+        return ClusterRunResult(outcomes=ordered,
+                                total_gpus=self.scheduler.total_gpus,
+                                horizon=horizon)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _rate(self, job: _RunningJob) -> float:
+        profile = self.scheduler.profiles[job.spec.model_name]
+        return profile.rate(job.gpus)
+
+    def _next_event_time(self, pending: list[JobSpec],
+                         active: dict[int, _RunningJob],
+                         now: float) -> float | None:
+        candidates: list[float] = []
+        if pending:
+            candidates.append(pending[0].arrival_time)
+        for job in active.values():
+            rate = self._rate(job)
+            if rate > 0:
+                candidates.append(now + job.remaining / rate)
+            if job.spec.deadline is not None:
+                candidates.append(job.spec.deadline)
+        if not candidates:
+            return None
+        nxt = min(candidates)
+        return max(nxt, now + _EPSILON)

@@ -1,0 +1,25 @@
+"""Configuration layer: model, system, parallelism, presets, descriptions."""
+
+from repro.config.description import InputDescription
+from repro.config.model import DEFAULT_VOCAB_SIZE, ModelConfig
+from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
+                                      RecomputeMode, TrainingConfig,
+                                      layers_per_stage, num_micro_batches,
+                                      validate_plan)
+from repro.config.system import SystemConfig, multi_node, single_node
+
+__all__ = [
+    "DEFAULT_VOCAB_SIZE",
+    "InputDescription",
+    "ModelConfig",
+    "ParallelismConfig",
+    "PipelineSchedule",
+    "RecomputeMode",
+    "SystemConfig",
+    "TrainingConfig",
+    "layers_per_stage",
+    "multi_node",
+    "num_micro_batches",
+    "single_node",
+    "validate_plan",
+]

@@ -1,0 +1,117 @@
+"""The vTrain input description file (paper Figure 4, step 1).
+
+An :class:`InputDescription` bundles everything the simulator needs for one
+evaluation: the target LLM, the training-system configuration, the
+parallelization strategy, and the training loop. It round-trips through
+plain dictionaries / JSON so descriptions can live in files, exactly like
+the paper's "input description file".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
+                                      RecomputeMode, TrainingConfig,
+                                      validate_plan)
+from repro.config.system import SystemConfig
+from repro.errors import ConfigError
+from repro.hardware.gpu import A100_80GB, gpu_by_name
+
+
+@dataclass(frozen=True)
+class InputDescription:
+    """A complete simulation input: model + system + plan + training loop."""
+
+    model: ModelConfig
+    system: SystemConfig
+    plan: ParallelismConfig
+    training: TrainingConfig
+
+    def validate(self) -> "InputDescription":
+        """Run structural checks; returns self so calls can chain.
+
+        Raises:
+            InfeasibleConfigError: If the plan cannot run on the system.
+        """
+        validate_plan(self.model, self.plan, self.training,
+                      self.system.num_gpus)
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form suitable for JSON serialisation."""
+        payload = {
+            "model": asdict(self.model),
+            "system": {
+                "num_gpus": self.system.num_gpus,
+                "gpus_per_node": self.system.gpus_per_node,
+                "gpu": self.system.gpu.name,
+                "internode_bandwidth": self.system.internode_bandwidth,
+                "internode_latency": self.system.internode_latency,
+                "bandwidth_effectiveness": self.system.bandwidth_effectiveness,
+                "intranode_latency": self.system.intranode_latency,
+            },
+            "parallelism": {
+                "tensor": self.plan.tensor,
+                "data": self.plan.data,
+                "pipeline": self.plan.pipeline,
+                "micro_batch_size": self.plan.micro_batch_size,
+                "schedule": self.plan.schedule.value,
+                "gradient_bucketing": self.plan.gradient_bucketing,
+                "num_gradient_buckets": self.plan.num_gradient_buckets,
+                "recompute": self.plan.recompute.value,
+                "sequence_parallel": self.plan.sequence_parallel,
+            },
+            "training": asdict(self.training),
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InputDescription":
+        """Parse a description dict; raises ConfigError on bad input."""
+        try:
+            model = ModelConfig(**payload["model"])
+            sys_raw = dict(payload["system"])
+            gpu_name = sys_raw.pop("gpu", A100_80GB.name)
+            system = SystemConfig(gpu=gpu_by_name(gpu_name), **sys_raw)
+            par_raw = dict(payload["parallelism"])
+            par_raw["schedule"] = PipelineSchedule(
+                par_raw.get("schedule", PipelineSchedule.ONE_F_ONE_B.value))
+            par_raw["recompute"] = RecomputeMode(
+                par_raw.get("recompute", RecomputeMode.SELECTIVE.value))
+            plan = ParallelismConfig(**par_raw)
+            training = TrainingConfig(**payload["training"])
+        except KeyError as exc:
+            raise ConfigError(f"input description missing section {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"invalid input description: {exc}") from exc
+        return cls(model=model, system=system, plan=plan, training=training)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "InputDescription":
+        """Parse a JSON description string."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"input description is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: str | Path) -> None:
+        """Write the description to a JSON file."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InputDescription":
+        """Read a description from a JSON file."""
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,158 @@
+"""Decoder-only transformer model description.
+
+The paper characterises an LLM by four hyperparameters (Section II-A,
+Figure 2): hidden size ``h``, number of decoder layers ``L``, maximum
+sequence length ``s``, and number of attention heads ``n``, plus the
+vocabulary size of the embedding layer / LM head.
+
+This module provides :class:`ModelConfig` together with the standard
+Megatron-LM parameter- and FLOP-accounting formulas that the paper's cost
+and utilization analyses rely on (Figures 1, 10, 11; Tables I, IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+#: Default vocabulary size used by the Megatron-LM model zoo (51,200 is the
+#: GPT-2 vocabulary padded up to a multiple of 1,024 so it stays divisible
+#: under any tensor-parallel degree used in practice).
+DEFAULT_VOCAB_SIZE = 51_200
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A decoder-only transformer LLM (paper Figure 2).
+
+    Attributes:
+        hidden_size: Embedding/hidden dimension ``h``.
+        num_layers: Number of stacked decoder layers ``L``.
+        seq_length: Maximum input sequence length ``s``.
+        num_heads: Number of attention heads ``n``; must divide ``h``.
+        vocab_size: Vocabulary size of the embedding table and LM head.
+        name: Optional human-readable label (e.g. ``"MT-NLG 530B"``).
+    """
+
+    hidden_size: int
+    num_layers: int
+    seq_length: int
+    num_heads: int
+    vocab_size: int = DEFAULT_VOCAB_SIZE
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for field in ("hidden_size", "num_layers", "seq_length", "num_heads",
+                      "vocab_size"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigError(f"{field} must be a positive int, got {value!r}")
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigError(
+                f"hidden_size ({self.hidden_size}) must be divisible by "
+                f"num_heads ({self.num_heads})")
+
+    # ------------------------------------------------------------------
+    # Derived dimensions
+    # ------------------------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Per-head attention dimension (``h / n``)."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def ffn_hidden_size(self) -> int:
+        """Intermediate FFN dimension (``4h``, paper Figure 2)."""
+        return 4 * self.hidden_size
+
+    def padded_vocab_size(self, tensor_parallel: int = 1,
+                          multiple: int = 128) -> int:
+        """Vocabulary padded so each tensor-parallel shard is aligned.
+
+        Megatron pads the vocabulary to a multiple of
+        ``multiple * tensor_parallel`` so the embedding table splits evenly.
+        """
+        if tensor_parallel <= 0:
+            raise ConfigError("tensor_parallel must be positive")
+        step = multiple * tensor_parallel
+        return ((self.vocab_size + step - 1) // step) * step
+
+    # ------------------------------------------------------------------
+    # Parameter accounting
+    # ------------------------------------------------------------------
+    def params_per_layer(self) -> int:
+        """Parameters of one decoder layer.
+
+        QKV projection (``3h^2``) + attention output projection (``h^2``)
+        + two FFN matrices (``8h^2``) + biases and the two LayerNorms.
+        """
+        h = self.hidden_size
+        attention = 4 * h * h + 4 * h          # QKV + proj weights and biases
+        ffn = 8 * h * h + 5 * h                # h->4h, 4h->h weights + biases
+        layernorms = 4 * h                     # 2 x (gain + bias)
+        return attention + ffn + layernorms
+
+    def embedding_params(self) -> int:
+        """Word + positional embedding parameters (``Vh + sh``)."""
+        return (self.vocab_size + self.seq_length) * self.hidden_size
+
+    def num_parameters(self) -> int:
+        """Total parameter count.
+
+        Matches the Megatron-LM closed form
+        ``12 L h^2 (1 + 13/(12h)) + (V + s) h`` to within bias terms; e.g.
+        MT-NLG (h=20480, L=105) evaluates to ~530B (Section V-A) and GPT-3
+        (h=12288, L=96) to ~175B (Figure 1).
+        """
+        final_layernorm = 2 * self.hidden_size
+        return (self.num_layers * self.params_per_layer()
+                + self.embedding_params() + final_layernorm)
+
+    @property
+    def parameters_billion(self) -> float:
+        """Total parameters in billions (for reporting)."""
+        return self.num_parameters() / 1e9
+
+    # ------------------------------------------------------------------
+    # FLOP accounting
+    # ------------------------------------------------------------------
+    def flops_per_token_forward(self) -> float:
+        """Forward-pass FLOPs for one token.
+
+        The Megatron accounting: ``24 L h^2 (1 + s/(6h)) + 6 h V`` — dense
+        matmuls plus the quadratic attention term plus the LM head.
+        """
+        h, big_l, s = self.hidden_size, self.num_layers, self.seq_length
+        dense = 24.0 * big_l * h * h * (1.0 + s / (6.0 * h))
+        lm_head = 6.0 * h * self.vocab_size
+        return dense + lm_head
+
+    def flops_per_token(self) -> float:
+        """Forward + backward FLOPs per token (backward costs 2x forward)."""
+        return 3.0 * self.flops_per_token_forward()
+
+    def model_flops_per_iteration(self, tokens_per_iteration: int) -> float:
+        """Useful (model) FLOPs of one training iteration.
+
+        This is the numerator of the paper's "GPU compute utilization":
+        achieved FLOPS relative to the hardware maximum (Figure 1 caption).
+        Recomputation overhead deliberately does not count as useful work.
+        """
+        if tokens_per_iteration <= 0:
+            raise ConfigError("tokens_per_iteration must be positive")
+        return self.flops_per_token() * tokens_per_iteration
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def scaled(self, **changes) -> "ModelConfig":
+        """Return a copy with selected hyperparameters replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line summary used in logs and benchmark tables."""
+        label = self.name or "LLM"
+        return (f"{label}: h={self.hidden_size} L={self.num_layers} "
+                f"s={self.seq_length} n={self.num_heads} "
+                f"({self.parameters_billion:.1f}B params)")

@@ -1,0 +1,148 @@
+"""Model and plan presets used throughout the paper's evaluation.
+
+Sources:
+
+* GPT-3 175B — Figure 1 (training time vs utilization on 1,024 A100s).
+* MT-NLG 530B — Case study #1 (Tables I, Figures 10/11); hyperparameters
+  from Section V-A: h=20480, L=105, n=128, batch of 1,920 x 2,048 tokens,
+  270B training tokens.
+* Megatron-LM scale-downs (Narayanan et al., SC'21 — the paper's [40]) —
+  Table II validation at 64/256/512 GPUs.
+* The Table III model zoo (18.4B / 39.1B / 81.2B) for the multi-tenant
+  cluster study, including the per-model global batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+
+# ---------------------------------------------------------------------------
+# Headline models
+# ---------------------------------------------------------------------------
+
+GPT3_175B = ModelConfig(hidden_size=12288, num_layers=96, seq_length=2048,
+                        num_heads=96, name="GPT-3 175B")
+
+#: Megatron-Turing NLG (Section V-A): "20,480 of hidden size, 105 decoder
+#: layers, and 128 attention heads".
+MT_NLG_530B = ModelConfig(hidden_size=20480, num_layers=105, seq_length=2048,
+                          num_heads=128, name="MT-NLG 530B")
+
+#: MT-NLG's training recipe: 1,920-sequence global batch, 270B tokens.
+MT_NLG_TRAINING = TrainingConfig(global_batch_size=1920,
+                                 total_tokens=270_000_000_000)
+
+#: GPT-3's recipe: 3.2M-token batches (1,536 x 2,048), 300B tokens.
+GPT3_TRAINING = TrainingConfig(global_batch_size=1536,
+                               total_tokens=300_000_000_000)
+
+# ---------------------------------------------------------------------------
+# Megatron-LM scale-down zoo ([40], used by Table II and Table III)
+# ---------------------------------------------------------------------------
+
+MEGATRON_1_7B = ModelConfig(hidden_size=2304, num_layers=24, seq_length=2048,
+                            num_heads=24, name="Megatron 1.7B")
+MEGATRON_3_6B = ModelConfig(hidden_size=3072, num_layers=30, seq_length=2048,
+                            num_heads=32, name="Megatron 3.6B")
+MEGATRON_7_5B = ModelConfig(hidden_size=4096, num_layers=36, seq_length=2048,
+                            num_heads=32, name="Megatron 7.5B")
+MEGATRON_18_4B = ModelConfig(hidden_size=6144, num_layers=40, seq_length=2048,
+                             num_heads=48, name="Megatron 18.4B")
+MEGATRON_39_1B = ModelConfig(hidden_size=8192, num_layers=48, seq_length=2048,
+                             num_heads=64, name="Megatron 39.1B")
+MEGATRON_76_1B = ModelConfig(hidden_size=10240, num_layers=60, seq_length=2048,
+                             num_heads=80, name="Megatron 76.1B")
+MEGATRON_81_2B = ModelConfig(hidden_size=10240, num_layers=64, seq_length=2048,
+                             num_heads=80, name="Megatron 81.2B")
+MEGATRON_145_6B = ModelConfig(hidden_size=12288, num_layers=80,
+                              seq_length=2048, num_heads=96,
+                              name="Megatron 145.6B")
+
+MODEL_ZOO = {
+    m.name: m for m in (
+        GPT3_175B, MT_NLG_530B, MEGATRON_1_7B, MEGATRON_3_6B, MEGATRON_7_5B,
+        MEGATRON_18_4B, MEGATRON_39_1B, MEGATRON_76_1B, MEGATRON_81_2B,
+        MEGATRON_145_6B,
+    )
+}
+
+# ---------------------------------------------------------------------------
+# Table III — multi-tenant cluster study models and batch sizes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterModelSpec:
+    """One row of Table III: a model plus its training batch size."""
+
+    model: ModelConfig
+    global_batch_size: int
+
+
+TABLE_III_MODELS = (
+    ClusterModelSpec(MEGATRON_18_4B, global_batch_size=1024),
+    ClusterModelSpec(MEGATRON_39_1B, global_batch_size=1536),
+    ClusterModelSpec(MEGATRON_81_2B, global_batch_size=1792),
+)
+
+# ---------------------------------------------------------------------------
+# Table I / Table II — published baseline plans
+# ---------------------------------------------------------------------------
+
+#: The three heuristic MT-NLG plans from Smith et al. ([67], Table I left).
+MT_NLG_BASELINE_PLANS = (
+    ParallelismConfig(tensor=8, data=8, pipeline=35),
+    ParallelismConfig(tensor=8, data=10, pipeline=35),
+    ParallelismConfig(tensor=8, data=12, pipeline=35),
+)
+
+#: The vTrain-discovered cost-effective plans (Table I right).
+MT_NLG_VTRAIN_PLANS = (
+    ParallelismConfig(tensor=8, data=12, pipeline=21),
+    ParallelismConfig(tensor=8, data=16, pipeline=21),
+    ParallelismConfig(tensor=8, data=20, pipeline=21),
+)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II: a scale-down validation experiment.
+
+    ``megatron_plan`` is the plan published in [40]; ``vtrain_plan`` is the
+    plan the paper's DSE uncovered. ``global_batch_size`` follows [40]'s
+    scale-down training recipes.
+    """
+
+    model: ModelConfig
+    num_gpus: int
+    global_batch_size: int
+    megatron_plan: ParallelismConfig
+    vtrain_plan: ParallelismConfig
+
+
+TABLE_II_ROWS = (
+    Table2Row(
+        model=MEGATRON_3_6B, num_gpus=64, global_batch_size=512,
+        megatron_plan=ParallelismConfig(tensor=2, data=32, pipeline=1,
+                                        micro_batch_size=16),
+        vtrain_plan=ParallelismConfig(tensor=1, data=64, pipeline=1,
+                                      micro_batch_size=8),
+    ),
+    Table2Row(
+        model=MEGATRON_18_4B, num_gpus=256, global_batch_size=1024,
+        megatron_plan=ParallelismConfig(tensor=8, data=32, pipeline=1,
+                                        micro_batch_size=4),
+        vtrain_plan=ParallelismConfig(tensor=8, data=32, pipeline=1,
+                                      micro_batch_size=8),
+    ),
+    Table2Row(
+        model=MEGATRON_39_1B, num_gpus=512, global_batch_size=1536,
+        megatron_plan=ParallelismConfig(tensor=8, data=32, pipeline=2,
+                                        micro_batch_size=4),
+        vtrain_plan=ParallelismConfig(tensor=4, data=32, pipeline=4,
+                                      micro_batch_size=2),
+    ),
+)

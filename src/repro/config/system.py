@@ -1,0 +1,99 @@
+"""Training-system configuration.
+
+Describes the cluster hardware a training plan runs on: GPUs per node, the
+GPU device itself, and the intra-/inter-node interconnects. This is the
+"system configuration" half of vTrain's input description file (Figure 4).
+
+The defaults mirror the paper's validation cluster (Section IV): DGX-A100
+style nodes with 8 A100s on NVLink/NVSwitch, inter-node communication over
+four 200 Gbps InfiniBand HCAs in a two-level non-blocking fat tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.hardware.gpu import A100_80GB, GPUSpec
+
+GBPS = 1e9 / 8.0  # 1 Gbit/s in bytes/s
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A multi-node GPU training system.
+
+    Attributes:
+        num_gpus: Total GPU count available to the training job.
+        gpus_per_node: GPUs within one server node (NVLink domain).
+        gpu: Device specification for every GPU in the system.
+        internode_bandwidth: Aggregate inter-node bandwidth per node in
+            bytes/s. The paper's cluster has four 200 Gbps HDR InfiniBand
+            HCAs per node, i.e. 800 Gbps = 100 GB/s.
+        internode_latency: Base latency of one inter-node message (seconds).
+        bandwidth_effectiveness: The paper's alpha tuning knob (Section IV):
+            the effective inter-node bandwidth is ``alpha * max bandwidth``.
+            The paper found alpha = 1.0 minimised error on its cluster.
+        intranode_latency: Base latency of one NVLink/NVSwitch transfer.
+    """
+
+    num_gpus: int
+    gpus_per_node: int = 8
+    gpu: GPUSpec = field(default=A100_80GB)
+    internode_bandwidth: float = 800 * GBPS
+    internode_latency: float = 5e-6
+    bandwidth_effectiveness: float = 1.0
+    intranode_latency: float = 3e-6
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ConfigError("num_gpus must be positive")
+        if self.gpus_per_node <= 0:
+            raise ConfigError("gpus_per_node must be positive")
+        if self.num_gpus % self.gpus_per_node and self.num_gpus > self.gpus_per_node:
+            raise ConfigError(
+                f"num_gpus ({self.num_gpus}) must be a multiple of "
+                f"gpus_per_node ({self.gpus_per_node})")
+        if not 0.0 < self.bandwidth_effectiveness <= 1.0:
+            raise ConfigError("bandwidth_effectiveness must be in (0, 1]")
+        if self.internode_bandwidth <= 0:
+            raise ConfigError("internode_bandwidth must be positive")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of server nodes (at least one)."""
+        return max(1, self.num_gpus // self.gpus_per_node)
+
+    @property
+    def effective_internode_bandwidth(self) -> float:
+        """``alpha * Bmax`` — the Equation-1 effective bandwidth."""
+        return self.bandwidth_effectiveness * self.internode_bandwidth
+
+    def peak_system_flops(self) -> float:
+        """Aggregate peak FP16 throughput across all GPUs (FLOP/s)."""
+        return self.num_gpus * self.gpu.peak_fp16_flops
+
+    def with_gpus(self, num_gpus: int) -> "SystemConfig":
+        """Copy of this system resized to ``num_gpus`` GPUs."""
+        return replace(self, num_gpus=num_gpus)
+
+    def describe(self) -> str:
+        """One-line summary used in logs and benchmark tables."""
+        return (f"{self.num_gpus}x {self.gpu.name} "
+                f"({self.num_nodes} nodes x {self.gpus_per_node} GPUs, "
+                f"{self.internode_bandwidth / GBPS:.0f} Gbps inter-node)")
+
+
+def single_node(gpus_per_node: int = 8, gpu: GPUSpec = A100_80GB) -> SystemConfig:
+    """A single server node — the paper's p4d validation setup (Fig. 9a)."""
+    return SystemConfig(num_gpus=gpus_per_node, gpus_per_node=gpus_per_node,
+                        gpu=gpu)
+
+
+def multi_node(num_nodes: int, gpus_per_node: int = 8,
+               gpu: GPUSpec = A100_80GB) -> SystemConfig:
+    """A fat-tree cluster of ``num_nodes`` nodes (Fig. 9b uses 64)."""
+    if num_nodes <= 0:
+        raise ConfigError("num_nodes must be positive")
+    return SystemConfig(num_gpus=num_nodes * gpus_per_node,
+                        gpus_per_node=gpus_per_node, gpu=gpu)

@@ -1,0 +1,11 @@
+"""Monetary cost modelling (AWS P4d proxy)."""
+
+from repro.cost.pricing import (DEFAULT_PRICING, P4D_DOLLARS_PER_GPU_HOUR,
+                                P4D_GPUS_PER_INSTANCE, PricingModel)
+
+__all__ = [
+    "DEFAULT_PRICING",
+    "P4D_DOLLARS_PER_GPU_HOUR",
+    "P4D_GPUS_PER_INSTANCE",
+    "PricingModel",
+]

@@ -1,0 +1,56 @@
+"""Monetary cost model (AWS EC2 P4d proxy, as in Figure 1 and Table I).
+
+Table I prices 2,240 A100 GPUs at $11,200/hour — exactly $5 per GPU-hour,
+the effective on-demand rate the paper derives from p4d instance pricing.
+All dollar figures in the reproduction use this constant so cost columns
+are directly comparable with the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86_400.0
+
+#: Effective AWS EC2 P4d price per A100 GPU-hour (Table I).
+P4D_DOLLARS_PER_GPU_HOUR = 5.0
+
+#: GPUs per p4d.24xlarge instance.
+P4D_GPUS_PER_INSTANCE = 8
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Hourly GPU pricing with simple helpers.
+
+    Attributes:
+        dollars_per_gpu_hour: On-demand price of one GPU for one hour.
+    """
+
+    dollars_per_gpu_hour: float = P4D_DOLLARS_PER_GPU_HOUR
+
+    def __post_init__(self) -> None:
+        if self.dollars_per_gpu_hour <= 0:
+            raise ConfigError("dollars_per_gpu_hour must be positive")
+
+    def dollars_per_hour(self, num_gpus: int) -> float:
+        """Cluster burn rate in $/hour."""
+        if num_gpus <= 0:
+            raise ConfigError("num_gpus must be positive")
+        return self.dollars_per_gpu_hour * num_gpus
+
+    def cost(self, num_gpus: int, seconds: float) -> float:
+        """Total cost of occupying ``num_gpus`` for ``seconds``."""
+        if seconds < 0:
+            raise ConfigError("seconds must be non-negative")
+        return self.dollars_per_hour(num_gpus) * seconds / SECONDS_PER_HOUR
+
+    def cost_of_days(self, num_gpus: int, days: float) -> float:
+        """Total cost of occupying ``num_gpus`` for ``days``."""
+        return self.cost(num_gpus, days * SECONDS_PER_DAY)
+
+
+DEFAULT_PRICING = PricingModel()

@@ -1,0 +1,205 @@
+"""Design-space exploration driver (Section V-A, Figures 10/11, Table I).
+
+Evaluates every plan in a search space with one shared vTrain instance
+(so each necessary operator is profiled once across the whole sweep) and
+collects :class:`DesignPoint` rows: iteration time, utilization, memory,
+GPUs, and cost rates. Helpers select the paper's headline artefacts —
+fastest plan, most cost-effective plan under a GPU budget, the Pareto
+frontier of (iteration time, cost), and the Figure-10 heatmap grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.system import SystemConfig, multi_node
+from repro.cost.pricing import DEFAULT_PRICING, PricingModel
+from repro.errors import ConfigError, InfeasibleConfigError
+from repro.graph.builder import Granularity
+from repro.dse.space import SearchSpace, enumerate_plans
+from repro.sim.estimator import VTrain
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated plan in the design space."""
+
+    plan: ParallelismConfig
+    feasible: bool
+    iteration_time: float = float("inf")
+    utilization: float = 0.0
+    memory_gib: float = 0.0
+    infeasible_reason: str = ""
+
+    @property
+    def num_gpus(self) -> int:
+        """GPUs the plan occupies."""
+        return self.plan.total_gpus
+
+    def cost_per_iteration(self,
+                           pricing: PricingModel = DEFAULT_PRICING) -> float:
+        """Dollar cost of one iteration under the pricing model."""
+        if not self.feasible:
+            return float("inf")
+        return pricing.cost(self.num_gpus, self.iteration_time)
+
+
+@dataclass
+class DSEResult:
+    """All evaluated points plus selection helpers."""
+
+    model: ModelConfig
+    training: TrainingConfig
+    points: list[DesignPoint] = field(default_factory=list)
+
+    @property
+    def feasible_points(self) -> list[DesignPoint]:
+        """Points that passed structural and memory checks."""
+        return [point for point in self.points if point.feasible]
+
+    @property
+    def num_feasible(self) -> int:
+        """Count of feasible points."""
+        return len(self.feasible_points)
+
+    def best_by_iteration_time(self, *, num_gpus: int | None = None,
+                               max_gpus: int | None = None,
+                               tensor: int | None = None) -> DesignPoint:
+        """Fastest feasible plan, optionally constrained."""
+        candidates = self._filter(num_gpus=num_gpus, max_gpus=max_gpus,
+                                  tensor=tensor)
+        return min(candidates, key=lambda point: point.iteration_time)
+
+    def best_by_cost(self, *, pricing: PricingModel = DEFAULT_PRICING,
+                     num_gpus: int | None = None,
+                     max_gpus: int | None = None,
+                     tensor: int | None = None) -> DesignPoint:
+        """Cheapest-per-token feasible plan, optionally constrained."""
+        candidates = self._filter(num_gpus=num_gpus, max_gpus=max_gpus,
+                                  tensor=tensor)
+        return min(candidates, key=lambda p: p.cost_per_iteration(pricing))
+
+    def best_micro_batch_per_way(self) -> dict[tuple[int, int, int],
+                                               DesignPoint]:
+        """Collapse micro-batch choices: best point per (t, d, p)."""
+        best: dict[tuple[int, int, int], DesignPoint] = {}
+        for point in self.feasible_points:
+            way = point.plan.way
+            if way not in best or (point.iteration_time
+                                   < best[way].iteration_time):
+                best[way] = point
+        return best
+
+    def pareto_frontier(self, *, pricing: PricingModel = DEFAULT_PRICING,
+                        ) -> list[DesignPoint]:
+        """Points not dominated in (iteration time, cost/iteration)."""
+        points = sorted(self.feasible_points,
+                        key=lambda p: (p.iteration_time,
+                                       p.cost_per_iteration(pricing)))
+        frontier: list[DesignPoint] = []
+        best_cost = float("inf")
+        for point in points:
+            cost = point.cost_per_iteration(pricing)
+            if cost < best_cost:
+                frontier.append(point)
+                best_cost = cost
+        return frontier
+
+    def heatmap(self, metric: str = "iteration_time",
+                ) -> dict[tuple[int, int, int], float]:
+        """Figure-10 style grid: (t, d, p) -> metric (best micro-batch).
+
+        ``metric`` is ``iteration_time`` or ``utilization``.
+        """
+        if metric not in ("iteration_time", "utilization"):
+            raise ConfigError(f"unknown heatmap metric {metric!r}")
+        return {way: getattr(point, metric)
+                for way, point in self.best_micro_batch_per_way().items()}
+
+    def _filter(self, *, num_gpus: int | None, max_gpus: int | None,
+                tensor: int | None) -> list[DesignPoint]:
+        candidates = self.feasible_points
+        if tensor is not None:
+            candidates = [p for p in candidates if p.plan.tensor == tensor]
+        if num_gpus is not None:
+            candidates = [p for p in candidates if p.num_gpus == num_gpus]
+        if max_gpus is not None:
+            candidates = [p for p in candidates if p.num_gpus <= max_gpus]
+        if not candidates:
+            raise InfeasibleConfigError(
+                "no feasible design points match the constraints")
+        return candidates
+
+
+class DesignSpaceExplorer:
+    """Sweeps plans for one model/training recipe.
+
+    A single profiling stack (device model, CUPTI tracer, lookup table,
+    NCCL tables) is shared across the sweep, so the whole exploration
+    profiles each necessary operator exactly once — the property that
+    makes the paper's "full design space in under 200 seconds" possible.
+
+    Args:
+        model: Target LLM.
+        training: Batch/token recipe.
+        gpus_per_node: Node size used to derive per-plan systems.
+        granularity: Graph granularity (STAGE recommended for sweeps).
+        system_factory: Override how a plan's GPU count becomes a
+            :class:`SystemConfig` (e.g. to change interconnects).
+    """
+
+    def __init__(self, model: ModelConfig, training: TrainingConfig, *,
+                 gpus_per_node: int = 8,
+                 granularity: Granularity = Granularity.STAGE,
+                 system_factory: Callable[[int], SystemConfig] | None = None,
+                 ) -> None:
+        self.model = model
+        self.training = training
+        self.gpus_per_node = gpus_per_node
+        self.granularity = granularity
+        self._system_factory = system_factory or self._default_system
+        self._simulators: dict[int, VTrain] = {}
+
+    def _default_system(self, num_gpus: int) -> SystemConfig:
+        nodes = max(1, -(-num_gpus // self.gpus_per_node))
+        return multi_node(nodes, gpus_per_node=self.gpus_per_node)
+
+    def _simulator_for(self, num_gpus: int) -> VTrain:
+        nodes = max(1, -(-num_gpus // self.gpus_per_node))
+        simulator = self._simulators.get(nodes)
+        if simulator is None:
+            simulator = VTrain(self._system_factory(nodes * self.gpus_per_node),
+                               granularity=self.granularity)
+            self._simulators[nodes] = simulator
+        return simulator
+
+    def evaluate(self, plan: ParallelismConfig) -> DesignPoint:
+        """Evaluate a single plan into a DesignPoint (never raises for
+        infeasible plans — they become ``feasible=False`` rows)."""
+        simulator = self._simulator_for(plan.total_gpus)
+        try:
+            prediction = simulator.predict(self.model, plan, self.training)
+        except InfeasibleConfigError as exc:
+            return DesignPoint(plan=plan, feasible=False,
+                               infeasible_reason=str(exc))
+        return DesignPoint(
+            plan=plan, feasible=True,
+            iteration_time=prediction.iteration_time,
+            utilization=prediction.gpu_compute_utilization,
+            memory_gib=prediction.memory_per_gpu / float(1 << 30))
+
+    def explore(self, *, space: SearchSpace = SearchSpace(),
+                num_gpus: int | None = None, max_gpus: int | None = None,
+                plans: Iterable[ParallelismConfig] | None = None,
+                ) -> DSEResult:
+        """Evaluate a plan iterable (or the enumerated search space)."""
+        if plans is None:
+            plans = enumerate_plans(self.model, self.training, space=space,
+                                    num_gpus=num_gpus, max_gpus=max_gpus)
+        result = DSEResult(model=self.model, training=self.training)
+        for plan in plans:
+            result.points.append(self.evaluate(plan))
+        return result

@@ -1,0 +1,96 @@
+"""DSE result export: CSV / markdown tables for downstream tooling.
+
+A full Figure-10-style sweep yields hundreds of design points; this
+module renders them for spreadsheets, notebooks, and docs without
+pulling plotting dependencies into the core library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.cost.pricing import DEFAULT_PRICING, PricingModel
+from repro.dse.explorer import DesignPoint, DSEResult
+from repro.errors import ConfigError
+
+CSV_COLUMNS = ("tensor", "data", "pipeline", "micro_batch", "num_gpus",
+               "feasible", "iteration_time_s", "utilization_pct",
+               "memory_gib", "cost_per_iteration_usd", "infeasible_reason")
+
+
+def _point_row(point: DesignPoint, pricing: PricingModel) -> dict:
+    plan = point.plan
+    return {
+        "tensor": plan.tensor,
+        "data": plan.data,
+        "pipeline": plan.pipeline,
+        "micro_batch": plan.micro_batch_size,
+        "num_gpus": point.num_gpus,
+        "feasible": point.feasible,
+        "iteration_time_s": (f"{point.iteration_time:.6f}"
+                             if point.feasible else ""),
+        "utilization_pct": (f"{100 * point.utilization:.3f}"
+                            if point.feasible else ""),
+        "memory_gib": f"{point.memory_gib:.2f}" if point.feasible else "",
+        "cost_per_iteration_usd": (
+            f"{point.cost_per_iteration(pricing):.4f}"
+            if point.feasible else ""),
+        "infeasible_reason": point.infeasible_reason,
+    }
+
+
+def to_csv(result: DSEResult, *, include_infeasible: bool = False,
+           pricing: PricingModel = DEFAULT_PRICING) -> str:
+    """Render a DSE result as CSV text."""
+    points = (result.points if include_infeasible
+              else result.feasible_points)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    for point in points:
+        writer.writerow(_point_row(point, pricing))
+    return buffer.getvalue()
+
+
+def save_csv(result: DSEResult, path: str | Path, *,
+             include_infeasible: bool = False,
+             pricing: PricingModel = DEFAULT_PRICING) -> None:
+    """Write :func:`to_csv` output to a file."""
+    Path(path).write_text(to_csv(result,
+                                 include_infeasible=include_infeasible,
+                                 pricing=pricing))
+
+
+def to_markdown(result: DSEResult, *, top: int = 10,
+                sort_by: str = "cost",
+                pricing: PricingModel = DEFAULT_PRICING) -> str:
+    """Markdown table of the best ``top`` feasible points.
+
+    ``sort_by`` is ``"cost"`` (cost per iteration) or ``"time"``
+    (iteration time).
+    """
+    if sort_by == "cost":
+        key = lambda p: p.cost_per_iteration(pricing)  # noqa: E731
+    elif sort_by == "time":
+        key = lambda p: p.iteration_time  # noqa: E731
+    else:
+        raise ConfigError(f"unknown sort key {sort_by!r}")
+    points = sorted(result.feasible_points, key=key)[:top]
+    lines = ["| (t, d, p) | m | GPUs | iter (s) | util % | $/iter |",
+             "|---|---|---|---|---|---|"]
+    for point in points:
+        plan = point.plan
+        lines.append(
+            f"| {plan.way} | {plan.micro_batch_size} | {point.num_gpus} "
+            f"| {point.iteration_time:.2f} "
+            f"| {100 * point.utilization:.1f} "
+            f"| {point.cost_per_iteration(pricing):.2f} |")
+    return "\n".join(lines)
+
+
+def load_csv(path: str | Path) -> list[dict]:
+    """Read back a saved DSE CSV (returns raw string-valued rows)."""
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))

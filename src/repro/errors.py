@@ -1,0 +1,33 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An input description or configuration value is invalid."""
+
+
+class InfeasibleConfigError(ReproError):
+    """A parallelization plan cannot run on the given system.
+
+    Raised when a (t, d, p, m) plan violates a structural constraint
+    (e.g. t*d*p does not match the GPU count) or exceeds per-GPU memory.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an internal inconsistency.
+
+    The usual cause is a task graph containing a dependency cycle, which
+    leaves tasks unexecuted when the ready queue drains.
+    """
+
+
+class ProfilingError(ReproError):
+    """The profiling module could not resolve an operator to kernels."""
+
+
+class SchedulingError(ReproError):
+    """The multi-tenant cluster scheduler reached an invalid state."""

@@ -1,0 +1,38 @@
+"""Execution graphs: operators, pipeline schedules, builders, structure."""
+
+from repro.graph.builder import Granularity, GraphBuilder
+from repro.graph.operators import (CommKind, CommOperator, CommScope,
+                                   CompOperator, OpKind, data_allreduce,
+                                   pipeline_send_recv, tensor_allreduce)
+from repro.graph.pipeline import (ScheduledChunk, gpipe_order,
+                                  last_backward_micro_batch,
+                                  max_in_flight_micro_batches,
+                                  one_f_one_b_order,
+                                  pipeline_bubble_fraction, schedule_order)
+from repro.graph.structure import (COMM_STREAM, COMPUTE_STREAM,
+                                   ExecutionGraph, GraphAssembler, TaskNode)
+
+__all__ = [
+    "COMM_STREAM",
+    "COMPUTE_STREAM",
+    "CommKind",
+    "CommOperator",
+    "CommScope",
+    "CompOperator",
+    "ExecutionGraph",
+    "Granularity",
+    "GraphAssembler",
+    "GraphBuilder",
+    "OpKind",
+    "ScheduledChunk",
+    "TaskNode",
+    "data_allreduce",
+    "gpipe_order",
+    "last_backward_micro_batch",
+    "max_in_flight_micro_batches",
+    "one_f_one_b_order",
+    "pipeline_bubble_fraction",
+    "pipeline_send_recv",
+    "schedule_order",
+    "tensor_allreduce",
+]

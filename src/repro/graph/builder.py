@@ -1,0 +1,458 @@
+"""Operator-granularity execution-graph construction (Figure 4, step 2).
+
+The builder turns an input description into the task DAG of one training
+iteration, inserting every communication operator the 3D-parallel plan
+requires:
+
+* tensor-parallel All-Reduces after each MHA and FFN block, forward and
+  backward, sequentially dependent on their block (Figure 6);
+* data-parallel gradient-bucket All-Reduces on the communication stream,
+  overlapping backward compute (Figure 5a) — or one terminal All-Reduce
+  when bucketing is off (Figure 5b);
+* pipeline Send-Receives at stage boundaries, GPipe- or 1F1B-ordered
+  (Figure 7) with both intra-GPU issue order and cross-GPU micro-batch
+  dependencies enforced (Figure 8).
+
+**Symmetry reduction.** Tensor-parallel ranks within a stage execute
+identical kernel streams, and data-parallel replicas are symmetric, so
+the builder materialises one pipeline of ``p`` logical devices; TP
+All-Reduces appear as inline comm tasks and DP All-Reduces as comm-stream
+tasks. This is the paper's necessary-operator observation applied to the
+graph itself; per-GPU behaviour is preserved exactly.
+
+**Granularities.** ``KERNEL`` emits one task per CUDA kernel (the paper's
+task-granularity graph, Figure 4 step 4); ``OPERATOR`` emits one task per
+layer-node with duration equal to the sum of its kernels (exact, because
+kernels run back-to-back on one stream); ``STAGE`` collapses each
+(stage, micro-batch, phase) chunk into a single task for fast DSE sweeps,
+splitting only the last backward chunk per bucket so gradient-bucket
+overlap stays modelled.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, TrainingConfig,
+                                      layers_per_stage, num_micro_batches,
+                                      validate_plan)
+from repro.config.system import SystemConfig
+from repro.errors import ConfigError
+from repro.graph.operators import (CompOperator, OpKind,
+                                   data_allreduce, pipeline_send_recv,
+                                   tensor_allreduce)
+from repro.graph.pipeline import (FORWARD, ScheduledChunk,
+                                  last_backward_micro_batch, schedule_order)
+from repro.graph.structure import (COMM_STREAM, COMPUTE_STREAM,
+                                   ExecutionGraph, GraphAssembler,
+                                   KIND_COMPUTE, KIND_DP_COMM, KIND_PP_COMM,
+                                   KIND_TP_COMM, KIND_WEIGHT_UPDATE)
+from repro.hardware.cluster import ClusterTopology
+from repro.profiling.lookup import OperatorToTaskTable
+from repro.profiling.nccl import NcclModel
+
+FP16 = 2.0
+
+
+class Granularity(enum.Enum):
+    """Level of detail of the emitted execution graph."""
+
+    KERNEL = "kernel"
+    OPERATOR = "operator"
+    STAGE = "stage"
+
+
+class GraphBuilder:
+    """Builds one training iteration's execution graph."""
+
+    def __init__(self, model: ModelConfig, system: SystemConfig,
+                 plan: ParallelismConfig, training: TrainingConfig,
+                 lookup: OperatorToTaskTable, nccl: NcclModel,
+                 granularity: Granularity = Granularity.OPERATOR) -> None:
+        validate_plan(model, plan, training, plan.total_gpus)
+        if plan.total_gpus > system.num_gpus:
+            raise ConfigError(
+                f"plan needs {plan.total_gpus} GPUs, system has "
+                f"{system.num_gpus}")
+        self.model = model
+        self.system = system
+        self.plan = plan
+        self.training = training
+        self.lookup = lookup
+        self.nccl = nccl
+        self.granularity = granularity
+
+        self.topology = ClusterTopology(system, plan)
+        self.nmb = num_micro_batches(plan, training)
+        self.lps = layers_per_stage(model, plan)
+        self.vocab = model.padded_vocab_size(plan.tensor)
+        self._init_operators()
+        self._init_comm_times()
+        self._init_stage_params()
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+    def _init_operators(self) -> None:
+        """Instantiate the necessary operators (one per signature)."""
+        model, plan = self.model, self.plan
+        common = dict(micro_batch=plan.micro_batch_size,
+                      seq_length=model.seq_length,
+                      hidden_size=model.hidden_size,
+                      num_heads=model.num_heads,
+                      tensor_parallel=plan.tensor)
+        self.op_fwd_mha = CompOperator(OpKind.FWD_MHA, **common)
+        self.op_fwd_ffn = CompOperator(OpKind.FWD_FFN, **common)
+        self.op_bwd_mha = CompOperator(OpKind.BWD_MHA, recompute=plan.recompute,
+                                       **common)
+        self.op_bwd_ffn = CompOperator(OpKind.BWD_FFN, recompute=plan.recompute,
+                                       **common)
+        self.op_fwd_embed = CompOperator(OpKind.FWD_EMBEDDING,
+                                         vocab_size=self.vocab, **common)
+        self.op_bwd_embed = CompOperator(OpKind.BWD_EMBEDDING,
+                                         vocab_size=self.vocab, **common)
+        self.op_fwd_head = CompOperator(OpKind.FWD_LM_HEAD,
+                                        vocab_size=self.vocab, **common)
+        self.op_bwd_head = CompOperator(OpKind.BWD_LM_HEAD,
+                                        vocab_size=self.vocab, **common)
+
+    def _init_comm_times(self) -> None:
+        """Pre-time every communication operator the graph will use."""
+        model, plan = self.model, self.plan
+        b, s, h = plan.micro_batch_size, model.seq_length, model.hidden_size
+        if plan.tensor > 1:
+            link = self.topology.tensor_link()
+            self.tp_ar = tensor_allreduce(b, s, h, plan.tensor, link)
+            self.tp_ar_time = self.nccl.time(self.tp_ar)
+        else:
+            self.tp_ar = None
+            self.tp_ar_time = 0.0
+        self.send_time: list[float] = []
+        for boundary in range(plan.pipeline - 1):
+            link = self.topology.pipeline_hop_link(boundary)
+            comm = pipeline_send_recv(b, s, h, link)
+            self.send_time.append(self.nccl.time(comm))
+
+    def _init_stage_params(self) -> None:
+        """Per-stage parameter counts per GPU and gradient buckets."""
+        model, plan = self.model, self.plan
+        per_layer = model.params_per_layer() // plan.tensor
+        embed = model.embedding_params() // plan.tensor
+        final_norm = 2 * model.hidden_size
+        self.stage_params: list[int] = []
+        for stage in range(plan.pipeline):
+            params = self.lps * per_layer
+            if stage == 0:
+                params += embed
+            if stage == plan.pipeline - 1:
+                params += final_norm
+            self.stage_params.append(params)
+
+        if plan.gradient_bucketing:
+            buckets = min(plan.num_gradient_buckets, self.lps)
+        else:
+            buckets = 1
+        # Contiguous layer partition: bucket k covers layers
+        # [k*chunk, ...); the deepest bucket's gradients complete first.
+        base, extra = divmod(self.lps, buckets)
+        self.bucket_layers: list[list[int]] = []
+        cursor = 0
+        for k in range(buckets):
+            width = base + (1 if k < extra else 0)
+            self.bucket_layers.append(list(range(cursor, cursor + width)))
+            cursor += width
+
+    def _bucket_bytes(self, stage: int, bucket: int) -> float:
+        """FP16 gradient payload of one bucket on one stage."""
+        model, plan = self.model, self.plan
+        per_layer = model.params_per_layer() // plan.tensor
+        params = len(self.bucket_layers[bucket]) * per_layer
+        if stage == 0 and 0 in self.bucket_layers[bucket]:
+            params += model.embedding_params() // plan.tensor
+        if stage == plan.pipeline - 1 and bucket == len(self.bucket_layers) - 1:
+            params += 2 * model.hidden_size
+        return FP16 * params
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def build(self) -> ExecutionGraph:
+        """Assemble and return the iteration's execution graph."""
+        asm = GraphAssembler()
+        p = self.plan.pipeline
+        orders = [schedule_order(self.plan.schedule, st, p, self.nmb)
+                  for st in range(p)]
+        last_b = last_backward_micro_batch(self.plan.schedule, self.nmb)
+
+        f_entry: dict[tuple[int, int], int] = {}
+        f_exit: dict[tuple[int, int], int] = {}
+        b_entry: dict[tuple[int, int], int] = {}
+        b_exit: dict[tuple[int, int], int] = {}
+        # Per-stage gradient-readiness anchors: bucket index -> task id.
+        bucket_anchor: dict[tuple[int, int], int] = {}
+
+        for stage in range(p):
+            for chunk in orders[stage]:
+                if chunk.phase == FORWARD:
+                    entry, exit_ = self._emit_forward_chunk(asm, stage, chunk)
+                    f_entry[(stage, chunk.micro_batch)] = entry
+                    f_exit[(stage, chunk.micro_batch)] = exit_
+                else:
+                    entry, exit_ = self._emit_backward_chunk(
+                        asm, stage, chunk, is_last=chunk.micro_batch == last_b,
+                        bucket_anchor=bucket_anchor)
+                    b_entry[(stage, chunk.micro_batch)] = entry
+                    b_exit[(stage, chunk.micro_batch)] = exit_
+
+        self._emit_pipeline_comm(asm, f_exit, f_entry, b_exit, b_entry)
+        self._emit_gradient_sync(asm, orders, b_exit, bucket_anchor, last_b)
+
+        graph = asm.finish(num_devices=p, metadata={
+            "plan": self.plan,
+            "model": self.model.name or self.model.describe(),
+            "granularity": self.granularity.value,
+            "num_micro_batches": self.nmb,
+            "layers_per_stage": self.lps,
+            "schedule": self.plan.schedule.value,
+        })
+        return graph
+
+    # ------------------------------------------------------------------
+    # Chunk emission
+    # ------------------------------------------------------------------
+    def _emit_comp(self, asm: GraphAssembler, stage: int, op: CompOperator,
+                   label: str, kind: str = KIND_COMPUTE,
+                   deps: tuple[int, ...] = ()) -> tuple[int, int]:
+        """Emit one computation operator; returns (entry, exit) task ids."""
+        if self.granularity is Granularity.KERNEL:
+            first = None
+            last = None
+            for index, kernel in enumerate(self.lookup.tasks_for(op)):
+                node = asm.add(stage, COMPUTE_STREAM, kernel.duration, kind,
+                               f"{label}/{kernel.name}",
+                               deps=deps if index == 0 else (),
+                               payload=kernel)
+                first = node if first is None else first
+                last = node
+            if first is None:  # pragma: no cover - decompositions are non-empty
+                raise ConfigError(f"operator {op.kind} produced no kernels")
+            return first, last
+        duration = self.lookup.duration_of(op)
+        node = asm.add(stage, COMPUTE_STREAM, duration, kind, label,
+                       deps=deps, payload=op)
+        return node, node
+
+    def _emit_tp_allreduce(self, asm: GraphAssembler, stage: int,
+                           label: str) -> int | None:
+        """Inline tensor-parallel All-Reduce (sequential dependency)."""
+        if self.tp_ar is None:
+            return None
+        return asm.add(stage, COMPUTE_STREAM, self.tp_ar_time, KIND_TP_COMM,
+                       label, payload=self.tp_ar)
+
+    def _emit_forward_chunk(self, asm: GraphAssembler, stage: int,
+                            chunk: ScheduledChunk) -> tuple[int, int]:
+        """Forward pass of one micro-batch on one stage."""
+        mb = chunk.micro_batch
+        if self.granularity is Granularity.STAGE:
+            node = asm.add(stage, COMPUTE_STREAM,
+                           self._forward_stage_duration(stage), KIND_COMPUTE,
+                           f"s{stage}/F{mb}")
+            return node, node
+        p = self.plan.pipeline
+        entry = None
+        last = None
+        if stage == 0:
+            entry, last = self._emit_comp(asm, stage, self.op_fwd_embed,
+                                          f"s{stage}/F{mb}/embed")
+            ar = self._emit_tp_allreduce(asm, stage, f"s{stage}/F{mb}/embed_ar")
+            last = ar if ar is not None else last
+        for layer in range(self.lps):
+            first, tail = self._emit_comp(asm, stage, self.op_fwd_mha,
+                                          f"s{stage}/F{mb}/l{layer}/mha")
+            entry = first if entry is None else entry
+            ar = self._emit_tp_allreduce(asm, stage,
+                                         f"s{stage}/F{mb}/l{layer}/mha_ar")
+            _, tail = self._emit_comp(asm, stage, self.op_fwd_ffn,
+                                      f"s{stage}/F{mb}/l{layer}/ffn")
+            ar = self._emit_tp_allreduce(asm, stage,
+                                         f"s{stage}/F{mb}/l{layer}/ffn_ar")
+            last = ar if ar is not None else tail
+        if stage == p - 1:
+            first, last = self._emit_comp(asm, stage, self.op_fwd_head,
+                                          f"s{stage}/F{mb}/lm_head")
+            entry = first if entry is None else entry
+        return entry, last
+
+    def _emit_backward_chunk(self, asm: GraphAssembler, stage: int,
+                             chunk: ScheduledChunk, *, is_last: bool,
+                             bucket_anchor: dict[tuple[int, int], int],
+                             ) -> tuple[int, int]:
+        """Backward pass of one micro-batch on one stage.
+
+        When ``is_last`` (the final backward chunk in issue order), the
+        per-layer task ids are recorded as gradient-bucket anchors.
+        """
+        mb = chunk.micro_batch
+        if self.granularity is Granularity.STAGE:
+            return self._emit_backward_stage(asm, stage, mb, is_last,
+                                             bucket_anchor)
+        p = self.plan.pipeline
+        entry = None
+        last = None
+        if stage == p - 1:
+            entry, last = self._emit_comp(asm, stage, self.op_bwd_head,
+                                          f"s{stage}/B{mb}/lm_head")
+        layer_tail: dict[int, int] = {}
+        for layer in reversed(range(self.lps)):
+            first, tail = self._emit_comp(asm, stage, self.op_bwd_ffn,
+                                          f"s{stage}/B{mb}/l{layer}/ffn")
+            entry = first if entry is None else entry
+            self._emit_tp_allreduce(asm, stage,
+                                    f"s{stage}/B{mb}/l{layer}/ffn_ar")
+            _, tail = self._emit_comp(asm, stage, self.op_bwd_mha,
+                                      f"s{stage}/B{mb}/l{layer}/mha")
+            layer_tail[layer] = tail
+            ar = self._emit_tp_allreduce(asm, stage,
+                                         f"s{stage}/B{mb}/l{layer}/mha_ar")
+            last = ar if ar is not None else tail
+        if stage == 0:
+            first, last = self._emit_comp(asm, stage, self.op_bwd_embed,
+                                          f"s{stage}/B{mb}/embed")
+            entry = first if entry is None else entry
+            layer_tail[-1] = last  # embedding grads complete last
+        if is_last:
+            self._record_bucket_anchors(stage, layer_tail, bucket_anchor)
+        return entry, last
+
+    def _record_bucket_anchors(self, stage: int, layer_tail: dict[int, int],
+                               bucket_anchor: dict[tuple[int, int], int],
+                               ) -> None:
+        """Map each gradient bucket to the task completing its gradients.
+
+        Backward visits layers deepest-first, so a bucket's gradients are
+        ready when its *shallowest* layer's weight-gradient task retires
+        (the embedding, on stage 0, retires after layer 0).
+        """
+        for bucket, layers in enumerate(self.bucket_layers):
+            shallowest = min(layers)
+            if stage == 0 and shallowest == 0 and -1 in layer_tail:
+                anchor = layer_tail[-1]
+            else:
+                anchor = layer_tail[shallowest]
+            bucket_anchor[(stage, bucket)] = anchor
+
+    # ------------------------------------------------------------------
+    # Stage-granularity chunk durations
+    # ------------------------------------------------------------------
+    def _forward_stage_duration(self, stage: int) -> float:
+        """Total forward-chunk latency of one stage (compute + TP AR)."""
+        dur = self.lps * (self.lookup.duration_of(self.op_fwd_mha)
+                          + self.lookup.duration_of(self.op_fwd_ffn)
+                          + 2 * self.tp_ar_time)
+        if stage == 0:
+            dur += self.lookup.duration_of(self.op_fwd_embed) + self.tp_ar_time
+        if stage == self.plan.pipeline - 1:
+            dur += self.lookup.duration_of(self.op_fwd_head)
+        return dur
+
+    def _backward_layer_duration(self) -> float:
+        """Backward latency of one decoder layer (compute + TP AR)."""
+        return (self.lookup.duration_of(self.op_bwd_ffn)
+                + self.lookup.duration_of(self.op_bwd_mha)
+                + 2 * self.tp_ar_time)
+
+    def _backward_stage_duration(self, stage: int) -> float:
+        """Total backward-chunk latency of one stage."""
+        dur = self.lps * self._backward_layer_duration()
+        if stage == self.plan.pipeline - 1:
+            dur += self.lookup.duration_of(self.op_bwd_head)
+        if stage == 0:
+            dur += self.lookup.duration_of(self.op_bwd_embed)
+        return dur
+
+    def _emit_backward_stage(self, asm: GraphAssembler, stage: int, mb: int,
+                             is_last: bool,
+                             bucket_anchor: dict[tuple[int, int], int],
+                             ) -> tuple[int, int]:
+        """Stage-granularity backward chunk.
+
+        Ordinary chunks are one task. The final chunk is split into one
+        sub-task per gradient bucket (deepest bucket first) so bucket
+        All-Reduces can still overlap the remaining backward compute.
+        """
+        if not is_last:
+            node = asm.add(stage, COMPUTE_STREAM,
+                           self._backward_stage_duration(stage), KIND_COMPUTE,
+                           f"s{stage}/B{mb}")
+            return node, node
+        layer_dur = self._backward_layer_duration()
+        head_extra = (self.lookup.duration_of(self.op_bwd_head)
+                      if stage == self.plan.pipeline - 1 else 0.0)
+        embed_extra = (self.lookup.duration_of(self.op_bwd_embed)
+                       if stage == 0 else 0.0)
+        entry = None
+        last = None
+        num_buckets = len(self.bucket_layers)
+        for issue_index, bucket in enumerate(reversed(range(num_buckets))):
+            duration = len(self.bucket_layers[bucket]) * layer_dur
+            if issue_index == 0:
+                duration += head_extra
+            if bucket == 0:
+                duration += embed_extra
+            node = asm.add(stage, COMPUTE_STREAM, duration, KIND_COMPUTE,
+                           f"s{stage}/B{mb}/bucket{bucket}")
+            bucket_anchor[(stage, bucket)] = node
+            entry = node if entry is None else entry
+            last = node
+        return entry, last
+
+    # ------------------------------------------------------------------
+    # Communication passes
+    # ------------------------------------------------------------------
+    def _emit_pipeline_comm(self, asm, f_exit, f_entry, b_exit, b_entry):
+        """Insert Send-Receive tasks at every stage boundary (Figure 6)."""
+        p = self.plan.pipeline
+        for boundary in range(p - 1):
+            for mb in range(self.nmb):
+                send = asm.add(boundary, COMM_STREAM,
+                               self.send_time[boundary], KIND_PP_COMM,
+                               f"s{boundary}->s{boundary + 1}/F{mb}",
+                               deps=(f_exit[(boundary, mb)],), chain=False)
+                asm.link(send, f_entry[(boundary + 1, mb)])
+                recv = asm.add(boundary + 1, COMM_STREAM,
+                               self.send_time[boundary], KIND_PP_COMM,
+                               f"s{boundary + 1}->s{boundary}/B{mb}",
+                               deps=(b_exit[(boundary + 1, mb)],), chain=False)
+                asm.link(recv, b_entry[(boundary, mb)])
+
+    def _emit_gradient_sync(self, asm, orders, b_exit, bucket_anchor,
+                            last_b) -> None:
+        """Insert DP gradient All-Reduces (Figure 5) and weight updates."""
+        plan = self.plan
+        d = plan.data
+        dp_link = self.topology.data_link() if d > 1 else None
+        dp_concurrency = (self.topology.concurrent_data_groups_per_node()
+                          if d > 1 else 1)
+        num_buckets = len(self.bucket_layers)
+        for stage in range(plan.pipeline):
+            wu_deps: list[int] = []
+            if d > 1:
+                last_ar = None
+                for bucket in reversed(range(num_buckets)):
+                    comm = data_allreduce(self._bucket_bytes(stage, bucket),
+                                          d, dp_link,
+                                          concurrent_groups=dp_concurrency)
+                    anchor = bucket_anchor[(stage, bucket)]
+                    last_ar = asm.add(stage, COMM_STREAM, self.nccl.time(comm),
+                                      KIND_DP_COMM,
+                                      f"s{stage}/dp_ar/bucket{bucket}",
+                                      deps=(anchor,), payload=comm)
+                wu_deps.append(last_ar)
+            wu_op = CompOperator(OpKind.WEIGHT_UPDATE,
+                                 num_params=self.stage_params[stage])
+            wu_deps.append(b_exit[(stage, last_b)])
+            asm.add(stage, COMPUTE_STREAM, self.lookup.duration_of(wu_op),
+                    KIND_WEIGHT_UPDATE, f"s{stage}/weight_update",
+                    deps=tuple(wu_deps), payload=wu_op)

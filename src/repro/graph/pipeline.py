@@ -1,0 +1,118 @@
+"""Pipeline-parallel schedules: GPipe and 1F1B (paper Figure 7).
+
+A schedule is, per pipeline stage, the *issue order* of forward and
+backward micro-batch chunks on that stage's compute stream. Cross-stage
+data dependencies (a stage cannot run micro-batch i before receiving it)
+are separate graph edges added by the builder; together the two reproduce
+the paper's two dependency families: "the execution order within each GPU"
+and "the operators associated with the same micro-batch ... across GPUs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.parallelism import PipelineSchedule
+from repro.errors import ConfigError
+
+FORWARD = "F"
+BACKWARD = "B"
+
+
+@dataclass(frozen=True)
+class ScheduledChunk:
+    """One entry in a stage's issue order."""
+
+    phase: str  # FORWARD or BACKWARD
+    micro_batch: int
+
+
+def gpipe_order(num_micro_batches: int) -> list[ScheduledChunk]:
+    """GPipe: all forwards in order, then all backwards in reverse.
+
+    Backwards run most-recent-first because the last micro-batch's
+    activations are freshest (Figure 7a).
+    """
+    _check(num_micro_batches)
+    forwards = [ScheduledChunk(FORWARD, i) for i in range(num_micro_batches)]
+    backwards = [ScheduledChunk(BACKWARD, i)
+                 for i in reversed(range(num_micro_batches))]
+    return forwards + backwards
+
+
+def one_f_one_b_order(stage: int, num_stages: int,
+                      num_micro_batches: int) -> list[ScheduledChunk]:
+    """1F1B (PipeDream-Flush): warm up, alternate, cool down (Figure 7b).
+
+    Stage ``i`` admits ``min(NMB, p - 1 - i)`` warm-up forwards, then
+    alternates one forward with one backward, then drains the remaining
+    backwards. The last stage has zero warm-up and strictly alternates.
+    """
+    _check(num_micro_batches)
+    if not 0 <= stage < num_stages:
+        raise ConfigError(f"stage {stage} outside pipeline of {num_stages}")
+    warmup = min(num_micro_batches, num_stages - 1 - stage)
+    order: list[ScheduledChunk] = []
+    for i in range(warmup):
+        order.append(ScheduledChunk(FORWARD, i))
+    steady = num_micro_batches - warmup
+    for i in range(steady):
+        order.append(ScheduledChunk(FORWARD, warmup + i))
+        order.append(ScheduledChunk(BACKWARD, i))
+    for i in range(steady, num_micro_batches):
+        order.append(ScheduledChunk(BACKWARD, i))
+    return order
+
+
+def schedule_order(schedule: PipelineSchedule, stage: int, num_stages: int,
+                   num_micro_batches: int) -> list[ScheduledChunk]:
+    """Issue order for one stage under the chosen scheduling policy."""
+    if schedule is PipelineSchedule.GPIPE:
+        return gpipe_order(num_micro_batches)
+    if schedule is PipelineSchedule.ONE_F_ONE_B:
+        return one_f_one_b_order(stage, num_stages, num_micro_batches)
+    raise ConfigError(f"unknown schedule {schedule}")
+
+
+def last_backward_micro_batch(schedule: PipelineSchedule,
+                              num_micro_batches: int) -> int:
+    """Micro-batch whose backward chunk is issued last on every stage.
+
+    Gradient-bucket All-Reduces attach to this chunk: gradients are only
+    complete once every micro-batch's backward has accumulated into them
+    (Figure 5), and the per-stream chain makes the last-issued backward
+    the synchronisation point.
+    """
+    _check(num_micro_batches)
+    if schedule is PipelineSchedule.GPIPE:
+        return 0  # backwards run in reverse order; micro-batch 0 is last
+    return num_micro_batches - 1
+
+
+def max_in_flight_micro_batches(schedule: PipelineSchedule, stage: int,
+                                num_stages: int,
+                                num_micro_batches: int) -> int:
+    """Peak simultaneously-live micro-batches on a stage (memory model).
+
+    GPipe holds every micro-batch's activations; 1F1B caps in-flight work
+    at the pipeline depth remaining below the stage — the memory saving
+    that motivated PipeDream (Section II-B).
+    """
+    _check(num_micro_batches)
+    if schedule is PipelineSchedule.GPIPE:
+        return num_micro_batches
+    return min(num_micro_batches, num_stages - stage)
+
+
+def pipeline_bubble_fraction(num_stages: int,
+                             num_micro_batches: int) -> float:
+    """Ideal bubble fraction ``(p-1) / (NMB + p - 1)`` for diagnostics."""
+    _check(num_micro_batches)
+    if num_stages <= 0:
+        raise ConfigError("num_stages must be positive")
+    return (num_stages - 1) / (num_micro_batches + num_stages - 1)
+
+
+def _check(num_micro_batches: int) -> None:
+    if num_micro_batches <= 0:
+        raise ConfigError("num_micro_batches must be positive")

@@ -1,0 +1,32 @@
+"""Hardware substrate: GPU specs, kernel timing, interconnects, topology."""
+
+from repro.hardware.cluster import ClusterTopology, RankCoordinates
+from repro.hardware.gpu import (A100_40GB, A100_80GB, H100_80GB, KNOWN_GPUS,
+                                V100_32GB, GPUSpec, gpu_by_name)
+from repro.hardware.interconnect import (LinkType, RingParameters,
+                                         infiniband_ring, nvlink_ring,
+                                         p2p_time)
+from repro.hardware.kernels import (FP16_BYTES, FP32_BYTES, DeviceModel,
+                                    Kernel, KernelKind)
+
+__all__ = [
+    "A100_40GB",
+    "A100_80GB",
+    "ClusterTopology",
+    "DeviceModel",
+    "FP16_BYTES",
+    "FP32_BYTES",
+    "GPUSpec",
+    "H100_80GB",
+    "Kernel",
+    "KernelKind",
+    "KNOWN_GPUS",
+    "LinkType",
+    "RankCoordinates",
+    "RingParameters",
+    "V100_32GB",
+    "gpu_by_name",
+    "infiniband_ring",
+    "nvlink_ring",
+    "p2p_time",
+]

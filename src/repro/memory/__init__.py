@@ -1,0 +1,17 @@
+"""Per-GPU memory-footprint modelling."""
+
+from repro.memory.footprint import (MemoryFootprint,
+                                    activation_bytes_per_layer, check_memory,
+                                    fits_in_memory, memory_footprint,
+                                    stage_zero_params,
+                                    suggest_schedule_for_memory)
+
+__all__ = [
+    "MemoryFootprint",
+    "activation_bytes_per_layer",
+    "check_memory",
+    "fits_in_memory",
+    "memory_footprint",
+    "stage_zero_params",
+    "suggest_schedule_for_memory",
+]

@@ -1,0 +1,185 @@
+"""Per-GPU memory-footprint model and feasibility filter.
+
+The paper's design-space exploration (Section V-A) only considers plans
+that actually fit on the GPUs ("making sure the overall memory usage fits
+within the GPU memory" is one of the systems chores the serverless
+studies automate). This module implements the standard Megatron-style
+accounting:
+
+* **Model states** — FP16 weights (2 B) + FP16 gradients (2 B, the
+  Megatron-DeepSpeed mixed-precision configuration MT-NLG trained with)
+  + Adam optimizer states (FP32 master copy, momentum, variance: 12 B).
+  With ZeRO-1 optimizer sharding (Megatron-DeepSpeed's default for
+  MT-NLG-scale runs), the 12 B/param optimizer slab divides by the
+  data-parallel degree.
+* **Activations** — the Korthikanti et al. per-layer formulas:
+  no recompute stores ``s*b*h*(10 + 24/t + 5*n*s/(h*t))`` bytes/layer,
+  selective recompute drops the attention quadratic term
+  (``s*b*h*(10 + 24/t)``), and full recompute keeps only the layer input
+  (``2*s*b*h``). In-flight micro-batches per stage follow the schedule:
+  all of them under GPipe, at most the remaining pipeline depth under
+  1F1B (Section II-B).
+
+Stage 0 is the peak: it holds the embedding table and the deepest
+in-flight window, so feasibility is evaluated there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
+                                      RecomputeMode, TrainingConfig,
+                                      layers_per_stage, num_micro_batches)
+from repro.config.system import SystemConfig
+from repro.errors import InfeasibleConfigError
+from repro.graph.pipeline import max_in_flight_micro_batches
+
+FP16_BYTES = 2.0
+GRAD_BYTES = 2.0       # FP16 gradient buffer (Megatron-DeepSpeed default)
+OPTIMIZER_BYTES = 12.0  # FP32 master weights + Adam momentum + variance
+
+#: Fraction of HBM usable by the framework (CUDA context, NCCL buffers,
+#: workspace, fragmentation).
+USABLE_MEMORY_FRACTION = 0.96
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Peak per-GPU memory demand, broken down by category (bytes)."""
+
+    weights: float
+    gradients: float
+    optimizer_states: float
+    activations: float
+
+    @property
+    def model_states(self) -> float:
+        """Weights + gradients + optimizer states."""
+        return self.weights + self.gradients + self.optimizer_states
+
+    @property
+    def total(self) -> float:
+        """Total peak bytes per GPU."""
+        return self.model_states + self.activations
+
+    @property
+    def total_gib(self) -> float:
+        """Total in GiB (for reporting)."""
+        return self.total / float(1 << 30)
+
+
+def activation_bytes_per_layer(model: ModelConfig,
+                               plan: ParallelismConfig) -> float:
+    """Stored activation bytes of one decoder layer, one micro-batch.
+
+    Follows Korthikanti et al.: without sequence parallelism the
+    LayerNorm/dropout regions replicate across tensor ranks (the ``10``
+    bytes/token term); with it every per-layer term divides by ``t``.
+    """
+    s = model.seq_length
+    b = plan.micro_batch_size
+    h = model.hidden_size
+    n = model.num_heads
+    t = plan.tensor
+    if plan.recompute is RecomputeMode.FULL:
+        stored_input = 2.0 * s * b * h
+        if plan.sequence_parallel:
+            stored_input /= t
+        return stored_input
+    if plan.sequence_parallel:
+        per_token = 34.0 / t
+    else:
+        per_token = 10.0 + 24.0 / t
+    if plan.recompute is RecomputeMode.NONE:
+        per_token += 5.0 * n * s / (h * t)
+    return s * b * h * per_token
+
+
+def stage_zero_params(model: ModelConfig, plan: ParallelismConfig) -> int:
+    """Per-GPU parameter count on pipeline stage 0 (the peak stage)."""
+    per_layer = model.params_per_layer() // plan.tensor
+    embed = model.embedding_params() // plan.tensor
+    return layers_per_stage(model, plan) * per_layer + embed
+
+
+def memory_footprint(model: ModelConfig, plan: ParallelismConfig,
+                     training: TrainingConfig, *,
+                     zero1_sharding: bool = True,
+                     zero_stage: int | None = None) -> MemoryFootprint:
+    """Peak per-GPU footprint of a plan (evaluated at stage 0).
+
+    Args:
+        zero1_sharding: Legacy switch: True means ZeRO stage 1.
+        zero_stage: Explicit ZeRO stage, overriding ``zero1_sharding``:
+            0 = no sharding; 1 = optimizer states sharded across the
+            data-parallel group (Megatron-DeepSpeed's default); 2 = plus
+            gradient sharding; 3 = plus parameter sharding. Stages 2/3
+            model the *memory* effect only — the extra All-Gather /
+            Reduce-Scatter traffic of ZeRO-3 would also need graph-level
+            operators (the :class:`~repro.profiling.nccl.NcclModel`
+            exposes ``allgather_time`` / ``reduce_scatter_time`` for
+            that extension).
+    """
+    if zero_stage is None:
+        zero_stage = 1 if zero1_sharding else 0
+    if not 0 <= zero_stage <= 3:
+        raise InfeasibleConfigError(f"unknown ZeRO stage {zero_stage}")
+    params = stage_zero_params(model, plan)
+    weights = FP16_BYTES * params
+    gradients = GRAD_BYTES * params
+    optimizer = OPTIMIZER_BYTES * params
+    if zero_stage >= 1:
+        optimizer /= plan.data
+    if zero_stage >= 2:
+        gradients /= plan.data
+    if zero_stage >= 3:
+        weights /= plan.data
+    nmb = num_micro_batches(plan, training)
+    in_flight = max_in_flight_micro_batches(plan.schedule, 0, plan.pipeline,
+                                            nmb)
+    per_layer = activation_bytes_per_layer(model, plan)
+    activations = (layers_per_stage(model, plan) * in_flight * per_layer)
+    # Embedding output of in-flight micro-batches (stage 0 only).
+    activations += (in_flight * FP16_BYTES * plan.micro_batch_size
+                    * model.seq_length * model.hidden_size)
+    return MemoryFootprint(weights=weights,
+                           gradients=gradients,
+                           optimizer_states=optimizer,
+                           activations=activations)
+
+
+def fits_in_memory(model: ModelConfig, plan: ParallelismConfig,
+                   training: TrainingConfig, system: SystemConfig, *,
+                   zero1_sharding: bool = True) -> bool:
+    """Whether the plan's peak footprint fits the GPU's usable HBM."""
+    footprint = memory_footprint(model, plan, training,
+                                 zero1_sharding=zero1_sharding)
+    return footprint.total <= system.gpu.memory_bytes * USABLE_MEMORY_FRACTION
+
+
+def check_memory(model: ModelConfig, plan: ParallelismConfig,
+                 training: TrainingConfig, system: SystemConfig, *,
+                 zero1_sharding: bool = True) -> MemoryFootprint:
+    """Footprint if feasible, else :class:`InfeasibleConfigError`."""
+    footprint = memory_footprint(model, plan, training,
+                                 zero1_sharding=zero1_sharding)
+    budget = system.gpu.memory_bytes * USABLE_MEMORY_FRACTION
+    if footprint.total > budget:
+        raise InfeasibleConfigError(
+            f"plan {plan.way} m={plan.micro_batch_size} needs "
+            f"{footprint.total_gib:.1f} GiB/GPU, budget is "
+            f"{budget / float(1 << 30):.1f} GiB ({system.gpu.name})")
+    return footprint
+
+
+def suggest_schedule_for_memory(model: ModelConfig, plan: ParallelismConfig,
+                                training: TrainingConfig,
+                                system: SystemConfig) -> PipelineSchedule:
+    """Pick 1F1B when GPipe's full-batch activation residency would not
+    fit — the PipeDream motivation retold as a helper."""
+    gpipe = plan.replaced(schedule=PipelineSchedule.GPIPE)
+    if fits_in_memory(model, gpipe, training, system):
+        return PipelineSchedule.GPIPE
+    return PipelineSchedule.ONE_F_ONE_B

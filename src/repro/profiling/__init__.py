@@ -1,0 +1,18 @@
+"""Profiling module: simulated CUPTI, kernel decomposition, NCCL models."""
+
+from repro.profiling.advanced import ContentionAwareNcclModel
+from repro.profiling.cupti import CuptiTracer, ProfilerStats, TraceRecord
+from repro.profiling.decomposition import OperatorDecomposer
+from repro.profiling.lookup import OperatorToTaskTable
+from repro.profiling.nccl import PROFILE_SIZES, NcclModel
+
+__all__ = [
+    "ContentionAwareNcclModel",
+    "CuptiTracer",
+    "NcclModel",
+    "OperatorDecomposer",
+    "OperatorToTaskTable",
+    "PROFILE_SIZES",
+    "ProfilerStats",
+    "TraceRecord",
+]

@@ -1,0 +1,82 @@
+"""Simulated CUPTI tracer (paper Figure 4, step 3).
+
+The real vTrain executes each computation operator on the target GPU and
+collects CUDA kernel traces through CUPTI, then applies the Zhu et al.
+(Daydream) task-to-layer mapping to associate kernels with operators. Our
+substitute "executes" the operator on the analytical device model and
+emits the same kind of trace records — kernel name, correlation id, and
+duration — with the operator association available by construction.
+
+The tracer deliberately preserves the two profiling artefacts the paper
+relies on:
+
+* determinism — profiling the same operator twice yields identical
+  traces (the paper's "little variance across different runs"), and
+* completeness — *all* kernels are traced, including short-lived
+  element-wise ones, which Table V contrasts against sampling approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.operators import CompOperator
+from repro.hardware.kernels import DeviceModel, Kernel
+from repro.profiling.decomposition import OperatorDecomposer
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One CUPTI activity record associated with an operator."""
+
+    correlation_id: int
+    operator_signature: tuple
+    kernel: Kernel
+
+
+@dataclass
+class ProfilerStats:
+    """Counters demonstrating the necessary-operator optimisation."""
+
+    operators_profiled: int = 0
+    kernels_traced: int = 0
+    signatures: set = field(default_factory=set)
+
+
+class CuptiTracer:
+    """Profiles operators on a device model and records kernel traces."""
+
+    def __init__(self, device: DeviceModel) -> None:
+        self.device = device
+        self._decomposer = OperatorDecomposer(device)
+        self._records: list[TraceRecord] = []
+        self._next_correlation = 0
+        self.stats = ProfilerStats()
+
+    def trace_operator(self, op: CompOperator) -> tuple[Kernel, ...]:
+        """Execute ``op`` once, returning its ordered kernel trace."""
+        kernels = self._decomposer.decompose(op)
+        self.stats.operators_profiled += 1
+        self.stats.kernels_traced += len(kernels)
+        self.stats.signatures.add(op.signature)
+        for kernel in kernels:
+            self._records.append(TraceRecord(self._next_correlation,
+                                             op.signature, kernel))
+            self._next_correlation += 1
+        return kernels
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        """All activity records collected so far, in issue order."""
+        return tuple(self._records)
+
+    def kernels_for(self, op: CompOperator) -> tuple[Kernel, ...]:
+        """Task-to-layer mapping: kernels previously traced for ``op``."""
+        return tuple(record.kernel for record in self._records
+                     if record.operator_signature == op.signature)
+
+    def reset(self) -> None:
+        """Drop collected records and counters (new profiling session)."""
+        self._records.clear()
+        self._next_correlation = 0
+        self.stats = ProfilerStats()

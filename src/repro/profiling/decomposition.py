@@ -1,0 +1,220 @@
+"""Operator-to-kernel decomposition (the heart of the profiling module).
+
+Mirrors how Megatron-DeepSpeed lowers each transformer block into CUDA
+kernels under tensor parallelism: every weight matrix is sharded ``1/t``,
+attention runs ``n/t`` heads per rank, and the backward pass issues one
+data-gradient and one weight-gradient GEMM per forward GEMM. Activation
+recomputation (none / selective / full) prepends re-executed forward
+kernels to the backward sequence, exactly as the framework would — and
+because vTrain profiles whatever kernels actually run, a recompute-policy
+change is captured automatically (the paper's argument for profiling over
+analytical modelling, Section VI).
+
+The decomposer emits :class:`~repro.hardware.kernels.Kernel` objects timed
+by the device model; the simulated CUPTI tracer and the operator-to-task
+lookup table sit on top of this module.
+"""
+
+from __future__ import annotations
+
+from repro.config.parallelism import RecomputeMode
+from repro.errors import ProfilingError
+from repro.graph.operators import CompOperator, OpKind
+from repro.hardware.kernels import DeviceModel, Kernel
+
+
+class OperatorDecomposer:
+    """Lowers computation operators into timed CUDA-kernel sequences."""
+
+    def __init__(self, device: DeviceModel) -> None:
+        self.device = device
+
+    def decompose(self, op: CompOperator) -> tuple[Kernel, ...]:
+        """Return the kernel sequence executed for ``op`` on one GPU."""
+        handlers = {
+            OpKind.FWD_EMBEDDING: self._fwd_embedding,
+            OpKind.FWD_MHA: self._fwd_mha,
+            OpKind.FWD_FFN: self._fwd_ffn,
+            OpKind.FWD_LM_HEAD: self._fwd_lm_head,
+            OpKind.BWD_LM_HEAD: self._bwd_lm_head,
+            OpKind.BWD_FFN: self._bwd_ffn,
+            OpKind.BWD_MHA: self._bwd_mha,
+            OpKind.BWD_EMBEDDING: self._bwd_embedding,
+            OpKind.WEIGHT_UPDATE: self._weight_update,
+        }
+        try:
+            handler = handlers[op.kind]
+        except KeyError:  # pragma: no cover - enum is closed
+            raise ProfilingError(f"no decomposition for {op.kind}") from None
+        return tuple(handler(op))
+
+    # ------------------------------------------------------------------
+    # Shared shape helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dims(op: CompOperator) -> tuple[int, int, int, int, int, int]:
+        """(tokens, h, heads/rank, head_dim, h/t, 4h/t) for ``op``."""
+        tokens = op.tokens
+        h = op.hidden_size
+        heads_local = op.num_heads // op.tensor_parallel
+        head_dim = h // op.num_heads
+        h_local = max(1, h // op.tensor_parallel)
+        ffn_local = max(1, 4 * h // op.tensor_parallel)
+        return tokens, h, heads_local, head_dim, h_local, ffn_local
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+    def _fwd_embedding(self, op: CompOperator):
+        tokens, h = op.tokens, op.hidden_size
+        yield self.device.embedding_lookup(tokens, h,
+                                           name="word_embedding_lookup")
+        yield self.device.elementwise(tokens * h, reads=2, writes=1,
+                                      name="position_embedding_add")
+        yield self.device.elementwise(tokens * h, name="embedding_dropout")
+
+    def _bwd_embedding(self, op: CompOperator):
+        tokens, h = op.tokens, op.hidden_size
+        yield self.device.elementwise(tokens * h, name="embedding_dropout_bwd")
+        yield self.device.elementwise(tokens * h, reads=2, writes=1,
+                                      name="embedding_grad_scatter")
+
+    # ------------------------------------------------------------------
+    # Multi-head attention block (Figure 2, left half of the decoder)
+    # ------------------------------------------------------------------
+    def _mha_forward_kernels(self, op: CompOperator, *, core_only: bool):
+        """Forward MHA kernels; ``core_only`` keeps just the attention
+        score/softmax/context portion (what selective recompute replays)."""
+        tokens, h, heads_local, head_dim, h_local, _ = self._dims(op)
+        s = op.seq_length
+        batch_heads = op.micro_batch * heads_local
+        if not core_only:
+            yield self.device.reduction(tokens, h, passes=2.5,
+                                        name="vectorized_layer_norm")
+            yield self.device.gemm(tokens, 3 * h_local, h, layout="tn",
+                                   name_hint="qkv_proj")
+            yield self.device.elementwise(tokens * 3 * h_local,
+                                          name="qkv_bias_add")
+        yield self.device.gemm(s, s, head_dim, batch=batch_heads,
+                               layout="nt", name_hint="attn_scores")
+        yield self.device.reduction(batch_heads * s, s, passes=3.0,
+                                    name="scaled_masked_softmax")
+        yield self.device.elementwise(batch_heads * s * s,
+                                      name="attention_dropout")
+        yield self.device.gemm(s, head_dim, s, batch=batch_heads,
+                               layout="nn", name_hint="attn_context")
+        if not core_only:
+            yield self.device.gemm(tokens, h, h_local, layout="tn",
+                                   name_hint="attn_out_proj")
+            yield self.device.elementwise(tokens * h, reads=2, writes=1,
+                                          name="dropout_add_residual")
+
+    def _fwd_mha(self, op: CompOperator):
+        yield from self._mha_forward_kernels(op, core_only=False)
+
+    def _bwd_mha(self, op: CompOperator):
+        tokens, h, heads_local, head_dim, h_local, _ = self._dims(op)
+        s = op.seq_length
+        batch_heads = op.micro_batch * heads_local
+        # Recomputation replays forward kernels before gradients flow.
+        if op.recompute is RecomputeMode.FULL:
+            yield from self._mha_forward_kernels(op, core_only=False)
+        elif op.recompute is RecomputeMode.SELECTIVE:
+            yield from self._mha_forward_kernels(op, core_only=True)
+        yield self.device.elementwise(tokens * h, name="dropout_add_bwd")
+        # Output projection: data grad then weight grad.
+        yield self.device.gemm(tokens, h_local, h, layout="nn",
+                               name_hint="attn_out_proj_dgrad")
+        yield self.device.gemm(h_local, h, tokens, layout="nt",
+                               name_hint="attn_out_proj_wgrad")
+        # Context = softmax(S) @ V backward.
+        yield self.device.gemm(s, s, head_dim, batch=batch_heads,
+                               layout="nt", name_hint="attn_context_dgrad_s")
+        yield self.device.gemm(s, head_dim, s, batch=batch_heads,
+                               layout="tn", name_hint="attn_context_dgrad_v")
+        yield self.device.elementwise(batch_heads * s * s,
+                                      name="attention_dropout_bwd")
+        yield self.device.reduction(batch_heads * s, s, passes=2.5,
+                                    name="scaled_masked_softmax_bwd")
+        # Scores = Q @ K^T backward (dQ and dK).
+        yield self.device.gemm(s, head_dim, s, batch=batch_heads,
+                               layout="nn", name_hint="attn_scores_dgrad_q")
+        yield self.device.gemm(s, head_dim, s, batch=batch_heads,
+                               layout="tn", name_hint="attn_scores_dgrad_k")
+        # Fused QKV projection backward.
+        yield self.device.gemm(tokens, h, 3 * h_local, layout="nn",
+                               name_hint="qkv_proj_dgrad")
+        yield self.device.gemm(h, 3 * h_local, tokens, layout="nt",
+                               name_hint="qkv_proj_wgrad")
+        yield self.device.reduction(tokens, h, passes=3.5,
+                                    name="layer_norm_bwd")
+
+    # ------------------------------------------------------------------
+    # Feed-forward network block
+    # ------------------------------------------------------------------
+    def _ffn_forward_kernels(self, op: CompOperator):
+        tokens, h, _, _, _, ffn_local = self._dims(op)
+        yield self.device.reduction(tokens, h, passes=2.5,
+                                    name="vectorized_layer_norm")
+        yield self.device.gemm(tokens, ffn_local, h, layout="tn",
+                               name_hint="ffn_h_to_4h")
+        yield self.device.elementwise(tokens * ffn_local,
+                                      name="gelu_bias_fused")
+        yield self.device.gemm(tokens, h, ffn_local, layout="tn",
+                               name_hint="ffn_4h_to_h")
+        yield self.device.elementwise(tokens * h, reads=2, writes=1,
+                                      name="dropout_add_residual")
+
+    def _fwd_ffn(self, op: CompOperator):
+        yield from self._ffn_forward_kernels(op)
+
+    def _bwd_ffn(self, op: CompOperator):
+        tokens, h, _, _, _, ffn_local = self._dims(op)
+        if op.recompute is RecomputeMode.FULL:
+            yield from self._ffn_forward_kernels(op)
+        yield self.device.elementwise(tokens * h, name="dropout_add_bwd")
+        yield self.device.gemm(tokens, ffn_local, h, layout="nn",
+                               name_hint="ffn_4h_to_h_dgrad")
+        yield self.device.gemm(ffn_local, h, tokens, layout="nt",
+                               name_hint="ffn_4h_to_h_wgrad")
+        yield self.device.elementwise(tokens * ffn_local,
+                                      name="gelu_bwd_fused")
+        yield self.device.gemm(tokens, h, ffn_local, layout="nn",
+                               name_hint="ffn_h_to_4h_dgrad")
+        yield self.device.gemm(h, ffn_local, tokens, layout="nt",
+                               name_hint="ffn_h_to_4h_wgrad")
+        yield self.device.reduction(tokens, h, passes=3.5,
+                                    name="layer_norm_bwd")
+
+    # ------------------------------------------------------------------
+    # LM head (output layer, tied to the word embedding)
+    # ------------------------------------------------------------------
+    def _fwd_lm_head(self, op: CompOperator):
+        tokens, h, _, _, _, _ = self._dims(op)
+        vocab_local = max(1, op.vocab_size // op.tensor_parallel)
+        yield self.device.reduction(tokens, h, passes=2.5,
+                                    name="final_layer_norm")
+        yield self.device.gemm(tokens, vocab_local, h, layout="tn",
+                               name_hint="lm_head_logits")
+        yield self.device.reduction(tokens, vocab_local, passes=2.0,
+                                    name="vocab_parallel_cross_entropy")
+
+    def _bwd_lm_head(self, op: CompOperator):
+        tokens, h, _, _, _, _ = self._dims(op)
+        vocab_local = max(1, op.vocab_size // op.tensor_parallel)
+        yield self.device.elementwise(tokens * vocab_local,
+                                      name="cross_entropy_bwd")
+        yield self.device.gemm(tokens, h, vocab_local, layout="nn",
+                               name_hint="lm_head_dgrad")
+        yield self.device.gemm(h, vocab_local, tokens, layout="nt",
+                               name_hint="lm_head_wgrad")
+        yield self.device.reduction(tokens, h, passes=3.5,
+                                    name="final_layer_norm_bwd")
+
+    # ------------------------------------------------------------------
+    # Optimizer
+    # ------------------------------------------------------------------
+    def _weight_update(self, op: CompOperator):
+        yield self.device.elementwise(op.num_params,
+                                      name="grad_scale_and_clip")
+        yield self.device.optimizer_update(op.num_params)

@@ -1,0 +1,30 @@
+"""Chinchilla scaling law and compute-optimal model sizing."""
+
+from repro.scaling.loss import (LossEstimate, expected_loss,
+                                optimal_split, undertraining_penalty)
+from repro.scaling.chinchilla import (ALPHA, BETA, TABLE_IV_ARCHITECTURES,
+                                      TOKENS_PER_PARAMETER,
+                                      ChinchillaCandidate,
+                                      best_plan_for_budget, candidate_model,
+                                      compute_budget_flops,
+                                      compute_optimal_search,
+                                      evaluate_candidate,
+                                      naive_chinchilla_point)
+
+__all__ = [
+    "LossEstimate",
+    "expected_loss",
+    "optimal_split",
+    "undertraining_penalty",
+    "ALPHA",
+    "BETA",
+    "ChinchillaCandidate",
+    "TABLE_IV_ARCHITECTURES",
+    "TOKENS_PER_PARAMETER",
+    "best_plan_for_budget",
+    "candidate_model",
+    "compute_budget_flops",
+    "compute_optimal_search",
+    "evaluate_candidate",
+    "naive_chinchilla_point",
+]

@@ -1,0 +1,207 @@
+"""Compute-optimal LLM sizing under the Chinchilla law (case study #3).
+
+Section V-C contrasts two ways of spending a fixed GPU-time budget:
+
+* the **naive** Chinchilla point assumes 100 % GPU utilization, yielding
+  ``N = alpha * C^0.5`` parameters and ``T = beta * C^0.5`` tokens for a
+  budget of C FLOPs — a model that then takes ~3x longer to train than
+  planned (85 days instead of 30 in the paper's example);
+* the **realistic** point uses vTrain: for each candidate architecture,
+  find the best 3D-parallel plan, simulate its iteration time, and keep
+  the largest model whose end-to-end training finishes inside the
+  wall-clock budget (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, TrainingConfig,
+                                      validate_plan)
+from repro.config.system import SystemConfig
+from repro.cost.pricing import SECONDS_PER_DAY
+from repro.dse.space import divisors, powers_of_two
+from repro.errors import ConfigError, InfeasibleConfigError
+from repro.graph.builder import Granularity
+from repro.memory.footprint import fits_in_memory
+from repro.sim.estimator import VTrain
+
+#: Chinchilla power-law coefficients (Hoffmann et al., as quoted in V-C).
+ALPHA = 0.089
+BETA = 1.875
+
+#: The paper's Table IV quotes tokens at exactly 20x the parameter count
+#: (the Chinchilla rule of thumb implied by alpha/beta up to rounding).
+TOKENS_PER_PARAMETER = 20.0
+
+#: Default sequence batch for the compute-optimal sweep: ~3.9M tokens per
+#: iteration at s=2048, the MT-NLG-class regime.
+TARGET_GLOBAL_BATCH = 1920
+
+
+def compute_budget_flops(num_gpus: int, days: float,
+                         peak_flops_per_gpu: float, *,
+                         utilization: float = 1.0) -> float:
+    """Total FLOPs available: GPUs x days x peak x utilization."""
+    if num_gpus <= 0 or days <= 0 or peak_flops_per_gpu <= 0:
+        raise ConfigError("budget inputs must be positive")
+    if not 0.0 < utilization <= 1.0:
+        raise ConfigError("utilization must be in (0, 1]")
+    return num_gpus * days * SECONDS_PER_DAY * peak_flops_per_gpu * utilization
+
+
+def naive_chinchilla_point(budget_flops: float) -> tuple[float, float]:
+    """(parameters, tokens) assuming the full budget is realisable.
+
+    For the paper's 3,360-A100 x 30-day example (C = 2.72e24 FLOPs) this
+    returns ~145.6B parameters and ~2.9T tokens.
+    """
+    if budget_flops <= 0:
+        raise ConfigError("budget_flops must be positive")
+    root = budget_flops ** 0.5
+    return ALPHA * root, BETA * root
+
+
+@dataclass(frozen=True)
+class ChinchillaCandidate:
+    """One Table IV row: an architecture evaluated under the budget."""
+
+    model: ModelConfig
+    tokens: float
+    plan: ParallelismConfig
+    global_batch_size: int
+    iteration_time: float
+    utilization: float
+    training_days: float
+
+    @property
+    def parameters_billion(self) -> float:
+        """Model size in billions of parameters."""
+        return self.model.parameters_billion
+
+    @property
+    def tokens_billion(self) -> float:
+        """Training tokens in billions."""
+        return self.tokens / 1e9
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict matching Table IV's columns."""
+        return {
+            "h": self.model.hidden_size,
+            "L": self.model.num_layers,
+            "parameters_b": round(self.parameters_billion, 2),
+            "tokens_b": round(self.tokens_billion, 0),
+            "optimal_tdp": self.plan.way,
+            "estimated_days": round(self.training_days, 1),
+        }
+
+
+#: The (h, L) architecture grid of Table IV.
+TABLE_IV_ARCHITECTURES = ((12288, 80), (12288, 70), (12288, 60),
+                          (10240, 70), (10240, 60),
+                          (9216, 80), (9216, 70))
+
+
+def candidate_model(hidden_size: int, num_layers: int, *,
+                    seq_length: int = 2048) -> ModelConfig:
+    """Build a Table IV candidate architecture (heads sized h/128)."""
+    return ModelConfig(hidden_size=hidden_size, num_layers=num_layers,
+                       seq_length=seq_length,
+                       num_heads=max(8, hidden_size // 128),
+                       name=f"chinchilla-{hidden_size}x{num_layers}")
+
+
+def best_plan_for_budget(model: ModelConfig, num_gpus: int,
+                         system: SystemConfig, *,
+                         granularity: Granularity = Granularity.STAGE,
+                         target_batch: int = TARGET_GLOBAL_BATCH,
+                         ) -> tuple[ParallelismConfig, TrainingConfig, float, float]:
+    """Fastest plan using exactly ``num_gpus`` GPUs for one candidate.
+
+    The global batch adapts to each plan's data-parallel degree
+    (``B = d * round(target / d)``) so days-per-token comparisons stay
+    fair across plans. Returns (plan, training, iteration_time,
+    utilization).
+
+    Raises:
+        InfeasibleConfigError: If no plan fits.
+    """
+    simulator = VTrain(system, granularity=granularity)
+    best: tuple[ParallelismConfig, TrainingConfig, float, float] | None = None
+    best_seconds_per_token = float("inf")
+    for t in powers_of_two(16):
+        if model.num_heads % t or num_gpus % t:
+            continue
+        remaining = num_gpus // t
+        for p in divisors(model.num_layers):
+            if p > model.num_layers or remaining % p:
+                continue
+            d = remaining // p
+            batch = d * max(1, round(target_batch / d))
+            training = TrainingConfig(global_batch_size=batch)
+            per_replica = batch // d
+            for m in (1, 2, 4):
+                if per_replica % m:
+                    continue
+                plan = ParallelismConfig(tensor=t, data=d, pipeline=p,
+                                         micro_batch_size=m)
+                try:
+                    validate_plan(model, plan, training, num_gpus)
+                except InfeasibleConfigError:
+                    continue
+                if not fits_in_memory(model, plan, training, system):
+                    continue
+                prediction = simulator.predict(model, plan, training)
+                tokens_per_iter = training.tokens_per_iteration(model)
+                seconds_per_token = prediction.iteration_time / tokens_per_iter
+                if seconds_per_token < best_seconds_per_token:
+                    best_seconds_per_token = seconds_per_token
+                    best = (plan, training, prediction.iteration_time,
+                            prediction.gpu_compute_utilization)
+    if best is None:
+        raise InfeasibleConfigError(
+            f"no feasible plan for {model.describe()} on {num_gpus} GPUs")
+    return best
+
+
+def evaluate_candidate(hidden_size: int, num_layers: int, num_gpus: int,
+                       system: SystemConfig, *,
+                       granularity: Granularity = Granularity.STAGE,
+                       ) -> ChinchillaCandidate:
+    """Evaluate one Table IV row: optimal plan and end-to-end days."""
+    model = candidate_model(hidden_size, num_layers)
+    tokens = TOKENS_PER_PARAMETER * model.num_parameters()
+    plan, training, iteration_time, utilization = best_plan_for_budget(
+        model, num_gpus, system, granularity=granularity)
+    tokens_per_iter = training.tokens_per_iteration(model)
+    iterations = tokens / tokens_per_iter
+    days = iterations * iteration_time / SECONDS_PER_DAY
+    return ChinchillaCandidate(model=model, tokens=tokens, plan=plan,
+                               global_batch_size=training.global_batch_size,
+                               iteration_time=iteration_time,
+                               utilization=utilization, training_days=days)
+
+
+def compute_optimal_search(num_gpus: int, budget_days: float,
+                           system: SystemConfig, *,
+                           architectures=TABLE_IV_ARCHITECTURES,
+                           granularity: Granularity = Granularity.STAGE,
+                           ) -> tuple[list[ChinchillaCandidate],
+                                      ChinchillaCandidate | None]:
+    """Reproduce Table IV: evaluate candidates, pick the realistic point.
+
+    Returns (all candidate rows, the largest model finishing within the
+    budget — the vTrain-corrected Chinchilla point).
+    """
+    rows: list[ChinchillaCandidate] = []
+    for hidden_size, num_layers in architectures:
+        try:
+            rows.append(evaluate_candidate(hidden_size, num_layers, num_gpus,
+                                           system, granularity=granularity))
+        except InfeasibleConfigError:
+            continue
+    within = [row for row in rows if row.training_days <= budget_days]
+    best = max(within, key=lambda row: row.model.num_parameters(),
+               default=None)
+    return rows, best

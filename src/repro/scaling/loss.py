@@ -1,0 +1,101 @@
+"""Chinchilla parametric loss model (Hoffmann et al., Approach 3).
+
+The paper's case study #3 picks "the LLM providing the best model
+accuracy" within a compute budget. This module supplies the accuracy
+side: the Chinchilla parametric loss surface
+
+    L(N, D) = E + A / N^alpha + B / D^beta
+
+with the published fit (E=1.69, A=406.4, B=410.7, alpha=0.34,
+beta=0.28). It lets the compute-optimal search report *expected loss*
+per candidate, and verifies the qualitative claim behind Table IV:
+within a fixed *effective* budget, the largest model that trains to its
+20-tokens-per-parameter point achieves the lowest loss among feasible
+candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Hoffmann et al. parametric fit (their Approach 3 / Equation 10).
+IRREDUCIBLE = 1.69
+A_COEFF = 406.4
+B_COEFF = 410.7
+N_EXPONENT = 0.34
+D_EXPONENT = 0.28
+
+
+def expected_loss(num_parameters: float, num_tokens: float) -> float:
+    """Pre-training loss predicted by the parametric Chinchilla fit."""
+    if num_parameters <= 0 or num_tokens <= 0:
+        raise ConfigError("parameters and tokens must be positive")
+    return (IRREDUCIBLE
+            + A_COEFF / num_parameters ** N_EXPONENT
+            + B_COEFF / num_tokens ** D_EXPONENT)
+
+
+def optimal_split(compute_flops: float) -> tuple[float, float]:
+    """Loss-minimising (N, D) under the constraint ``C = 6 N D``.
+
+    Solves the first-order condition of the parametric loss: the
+    optimal allocation satisfies
+    ``alpha * A / N^alpha = beta * B / D^beta`` along ``C = 6ND``.
+    Found numerically by bisection on log N (the objective is convex in
+    log N along the constraint).
+    """
+    if compute_flops <= 0:
+        raise ConfigError("compute_flops must be positive")
+    import math
+
+    def loss_at(log_n: float) -> float:
+        n = math.exp(log_n)
+        d = compute_flops / (6.0 * n)
+        return expected_loss(n, d)
+
+    lo, hi = math.log(1e6), math.log(compute_flops / 6.0)
+    for _ in range(200):
+        third = (hi - lo) / 3.0
+        m1, m2 = lo + third, hi - third
+        if loss_at(m1) < loss_at(m2):
+            hi = m2
+        else:
+            lo = m1
+    n_opt = math.exp((lo + hi) / 2.0)
+    return n_opt, compute_flops / (6.0 * n_opt)
+
+
+@dataclass(frozen=True)
+class LossEstimate:
+    """Expected loss of one (model size, token count) candidate."""
+
+    num_parameters: float
+    num_tokens: float
+    loss: float
+
+    @property
+    def tokens_per_parameter(self) -> float:
+        """The D/N ratio (Chinchilla-optimal is ~20)."""
+        return self.num_tokens / self.num_parameters
+
+
+def estimate(num_parameters: float, num_tokens: float) -> LossEstimate:
+    """Convenience wrapper bundling the inputs with the loss."""
+    return LossEstimate(num_parameters=num_parameters,
+                        num_tokens=num_tokens,
+                        loss=expected_loss(num_parameters, num_tokens))
+
+
+def undertraining_penalty(num_parameters: float,
+                          available_tokens: float) -> float:
+    """Extra loss from training a model on fewer tokens than its
+    Chinchilla point (the paper's MT-NLG/GPT-3 under-training remark).
+
+    Returns ``L(N, available) - L(N, 20N)``; positive when the model is
+    under-trained.
+    """
+    ideal = expected_loss(num_parameters, 20.0 * num_parameters)
+    actual = expected_loss(num_parameters, available_tokens)
+    return actual - ideal

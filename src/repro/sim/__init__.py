@@ -1,0 +1,33 @@
+"""Simulation core: Algorithm-1 engine, results, and the VTrain facade."""
+
+from repro.sim.analysis import (DeviceProfile, critical_device,
+                                device_profiles, exposed_dp_fraction,
+                                pipeline_bubble_time,
+                                stage_utilization_profile, summarize)
+from repro.sim.engine import (compute_idle_fraction, critical_path_length,
+                              simulate, stream_serialisation_check)
+from repro.sim.estimator import (VTrain, cost_for_utilization,
+                                 training_days_for_utilization)
+from repro.sim.results import (IterationPrediction, SimulationResult,
+                               TimelineEvent, TrainingEstimate)
+
+__all__ = [
+    "DeviceProfile",
+    "critical_device",
+    "device_profiles",
+    "exposed_dp_fraction",
+    "pipeline_bubble_time",
+    "stage_utilization_profile",
+    "summarize",
+    "IterationPrediction",
+    "SimulationResult",
+    "TimelineEvent",
+    "TrainingEstimate",
+    "VTrain",
+    "compute_idle_fraction",
+    "cost_for_utilization",
+    "critical_path_length",
+    "simulate",
+    "stream_serialisation_check",
+    "training_days_for_utilization",
+]

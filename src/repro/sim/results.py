@@ -1,0 +1,146 @@
+"""Result containers for simulation, prediction, and cost estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graph.structure import (KIND_COMPUTE, KIND_DP_COMM, KIND_PP_COMM,
+                                   KIND_TP_COMM, KIND_WEIGHT_UPDATE)
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One executed task in a recorded timeline (chrome-trace friendly)."""
+
+    task_id: int
+    device: int
+    stream: str
+    kind: str
+    label: str
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        """Task latency in seconds."""
+        return self.finish - self.start
+
+
+@dataclass
+class SimulationResult:
+    """Raw output of Algorithm 1 for one graph replay.
+
+    Attributes:
+        iteration_time: Predicted single-iteration training time (s).
+        num_tasks: Tasks executed.
+        device_timeline: Final per-device clock (Algorithm 1's ``T``).
+        device_busy: Per-device, per-kind busy seconds.
+        events: Recorded timeline (None unless requested).
+        metadata: Graph metadata (plan, granularity, ...).
+    """
+
+    iteration_time: float
+    num_tasks: int
+    device_timeline: dict[int, float]
+    device_busy: dict[int, dict[str, float]]
+    events: list[TimelineEvent] | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def busy_seconds(self, kind: str) -> float:
+        """Total busy seconds across devices for one task kind."""
+        return sum(per_device.get(kind, 0.0)
+                   for per_device in self.device_busy.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Aggregate busy time by category (compute, TP/DP/PP comm, WU)."""
+        return {kind: self.busy_seconds(kind)
+                for kind in (KIND_COMPUTE, KIND_TP_COMM, KIND_DP_COMM,
+                             KIND_PP_COMM, KIND_WEIGHT_UPDATE)}
+
+    def to_chrome_trace(self) -> list[dict[str, Any]]:
+        """Chrome ``chrome://tracing`` JSON events (requires a recorded
+        timeline)."""
+        if self.events is None:
+            return []
+        trace = []
+        for event in self.events:
+            trace.append({
+                "name": event.label,
+                "cat": event.kind,
+                "ph": "X",
+                "ts": event.start * 1e6,
+                "dur": event.duration * 1e6,
+                "pid": event.device,
+                "tid": event.stream,
+            })
+        return trace
+
+
+@dataclass(frozen=True)
+class IterationPrediction:
+    """vTrain's answer for one design point.
+
+    Attributes:
+        iteration_time: Predicted single-iteration latency (s).
+        gpu_compute_utilization: Model FLOPs achieved relative to the
+            aggregate hardware peak (the Figure 1 / Figure 10(b) metric),
+            in [0, 1].
+        tokens_per_iteration: Tokens consumed per iteration.
+        model_flops: Useful FLOPs per iteration.
+        num_gpus: GPUs the plan occupies.
+        memory_per_gpu: Peak per-GPU memory footprint (bytes).
+        simulation: The raw Algorithm-1 result.
+    """
+
+    iteration_time: float
+    gpu_compute_utilization: float
+    tokens_per_iteration: int
+    model_flops: float
+    num_gpus: int
+    memory_per_gpu: float
+    simulation: SimulationResult
+
+    @property
+    def achieved_flops_per_gpu(self) -> float:
+        """Achieved useful FLOP/s per GPU."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return self.model_flops / self.iteration_time / self.num_gpus
+
+    @property
+    def tokens_per_second(self) -> float:
+        """System-level training throughput."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return self.tokens_per_iteration / self.iteration_time
+
+
+@dataclass(frozen=True)
+class TrainingEstimate:
+    """End-to-end wall-clock and monetary cost of a training run.
+
+    The paper's Table I columns: iteration time, total training time in
+    days, GPU compute utilization, GPU count, $/hour, and $ total.
+    """
+
+    iteration_time: float
+    num_iterations: int
+    total_days: float
+    gpu_compute_utilization: float
+    num_gpus: int
+    dollars_per_hour: float
+    dollars_total: float
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict form for benchmark table printing."""
+        return {
+            "iteration_time_s": self.iteration_time,
+            "total_days": self.total_days,
+            "utilization_pct": 100.0 * self.gpu_compute_utilization,
+            "num_gpus": self.num_gpus,
+            "dollars_per_hour": self.dollars_per_hour,
+            "dollars_total_millions": self.dollars_total / 1e6,
+        }

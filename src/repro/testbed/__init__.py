@@ -1,0 +1,16 @@
+"""Testbed emulation: the "measured" side of the validation study."""
+
+from repro.testbed.emulator import (MeasuredIteration, TestbedConfig,
+                                    TestbedEmulator)
+from repro.testbed.noise import jitter, lognormal, one_sided, symmetric, unit
+
+__all__ = [
+    "MeasuredIteration",
+    "TestbedConfig",
+    "TestbedEmulator",
+    "jitter",
+    "lognormal",
+    "one_sided",
+    "symmetric",
+    "unit",
+]

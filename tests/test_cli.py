@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config.description import InputDescription
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.system import single_node
+
+
+@pytest.fixture
+def description_file(tmp_path, tiny_model, training):
+    plan = ParallelismConfig(tensor=2, data=2, pipeline=2, micro_batch_size=2)
+    description = InputDescription(model=tiny_model, system=single_node(),
+                                   plan=plan, training=training)
+    path = tmp_path / "desc.json"
+    description.save(path)
+    return path
+
+
+class TestPredict:
+    def test_predict_prints_metrics(self, description_file, capsys):
+        assert main(["predict", str(description_file)]) == 0
+        out = capsys.readouterr().out
+        assert "iteration time" in out
+        assert "utilization" in out
+        assert "training time" in out  # token budget present
+
+    def test_predict_without_token_budget(self, tmp_path, tiny_model,
+                                          capsys):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        description = InputDescription(
+            model=tiny_model, system=single_node(), plan=plan,
+            training=TrainingConfig(global_batch_size=16))
+        path = tmp_path / "nobudget.json"
+        description.save(path)
+        assert main(["predict", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "training time" not in out
+
+    def test_predict_granularity_flag(self, description_file, capsys):
+        assert main(["predict", str(description_file),
+                     "--granularity", "stage"]) == 0
+        assert "iteration time" in capsys.readouterr().out
+
+    def test_invalid_description_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"model": {}}))
+        assert main(["predict", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["predict", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExampleAndPresets:
+    def test_example_round_trips_through_predict(self, tmp_path, capsys):
+        output = tmp_path / "example.json"
+        assert main(["example", "megatron-1.7b",
+                     "--output", str(output)]) == 0
+        assert output.exists()
+        assert main(["predict", str(output),
+                     "--granularity", "stage"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration time" in out
+
+    def test_presets_lists_models(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "mt-nlg-530b" in out
+        assert "gpt-3-175b" in out

@@ -1,0 +1,211 @@
+"""Unit tests for the multi-tenant cluster substrate (case study #2)."""
+
+import pytest
+
+from repro.cluster.job import JobOutcome, JobSpec
+from repro.cluster.metrics import (average_jct, completed_fraction,
+                                   deadline_satisfactory_ratio, makespan)
+from repro.cluster.scheduler import ElasticFlowScheduler, SchedulableJob
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.throughput import ThroughputProfile
+from repro.cluster.trace import makespan_trace, synthesize_trace
+from repro.errors import ConfigError, SchedulingError
+
+
+def profile(name="m", rates=((8, 1.0), (16, 1.8), (32, 3.0))):
+    return ThroughputProfile(model_name=name, table=tuple(rates))
+
+
+def scheduler(profiles=None, total_gpus=64):
+    profiles = profiles or {"m": profile()}
+    return ElasticFlowScheduler(profiles, total_gpus=total_gpus)
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            JobSpec(job_id=0, model_name="m", num_iterations=0,
+                    arrival_time=0.0)
+        with pytest.raises(ConfigError):
+            JobSpec(job_id=0, model_name="m", num_iterations=1,
+                    arrival_time=10.0, deadline=5.0)
+
+    def test_outcome_deadline_logic(self):
+        spec = JobSpec(job_id=0, model_name="m", num_iterations=10,
+                       arrival_time=0.0, deadline=100.0)
+        met = JobOutcome(spec=spec, completion_time=90.0, terminated=False,
+                         gpu_seconds=10.0)
+        missed = JobOutcome(spec=spec, completion_time=None, terminated=True,
+                            gpu_seconds=10.0)
+        assert met.met_deadline and met.jct == 90.0
+        assert not missed.met_deadline and missed.jct is None
+
+
+class TestThroughputProfile:
+    def test_rate_floors_to_candidate(self):
+        prof = profile()
+        assert prof.rate(8) == 1.0
+        assert prof.rate(24) == 1.8  # floors to 16
+        assert prof.rate(7) == 0.0
+
+    def test_next_step(self):
+        prof = profile()
+        assert prof.next_step(8) == 16
+        assert prof.next_step(32) is None
+
+    def test_speedup(self):
+        assert profile().speedup(32) == pytest.approx(3.0)
+
+    def test_rejects_empty_or_unsorted(self):
+        with pytest.raises(ConfigError):
+            ThroughputProfile(model_name="m", table=())
+        with pytest.raises(ConfigError):
+            ThroughputProfile(model_name="m", table=((16, 1.0), (8, 0.5)))
+
+
+class TestScheduler:
+    def _job(self, job_id=0, remaining=100.0, deadline=None, arrival=0.0):
+        return SchedulableJob(job_id=job_id, model_name="m",
+                              remaining_iterations=remaining,
+                              arrival_time=arrival, deadline=deadline)
+
+    def test_best_effort_gets_minimum_then_surplus(self):
+        alloc = scheduler().allocate([self._job()], now=0.0)
+        assert alloc[0] == 32  # all surplus goes to the only job
+
+    def test_surplus_split_by_marginal_gain(self):
+        jobs = [self._job(job_id=0), self._job(job_id=1)]
+        alloc = scheduler(total_gpus=40).allocate(jobs, now=0.0)
+        assert sum(alloc.values()) <= 40
+        assert all(g >= 8 for g in alloc.values())
+
+    def test_deadline_job_gets_minimum_satisfactory_share(self):
+        # 100 iterations, 60s budget: needs rate >= 1.67 -> 16 GPUs.
+        job = self._job(deadline=60.0)
+        alloc = ElasticFlowScheduler({"m": profile()}, total_gpus=16
+                                     ).allocate([job], now=0.0)
+        assert alloc[0] == 16
+
+    def test_infeasible_deadline_declined(self):
+        # 1000 iterations in 10s is impossible even at 32 GPUs.
+        job = self._job(remaining=1000.0, deadline=10.0)
+        alloc = scheduler().allocate([job], now=0.0)
+        assert alloc[0] == 0
+
+    def test_edf_priority_under_contention(self):
+        urgent = self._job(job_id=0, remaining=100.0, deadline=60.0)
+        relaxed = self._job(job_id=1, remaining=100.0, deadline=1000.0)
+        alloc = ElasticFlowScheduler({"m": profile()}, total_gpus=16
+                                     ).allocate([relaxed, urgent], now=0.0)
+        assert alloc[0] == 16  # urgent job wins the scarce GPUs
+        assert alloc[1] == 0
+
+    def test_unknown_model_raises(self):
+        job = SchedulableJob(job_id=0, model_name="ghost",
+                             remaining_iterations=1.0, arrival_time=0.0,
+                             deadline=None)
+        with pytest.raises(SchedulingError):
+            scheduler().allocate([job], now=0.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SchedulingError):
+            ElasticFlowScheduler({"m": profile()}, total_gpus=0)
+
+
+class TestSimulator:
+    def test_single_job_completes(self):
+        jobs = [JobSpec(job_id=0, model_name="m", num_iterations=300,
+                        arrival_time=0.0)]
+        result = ClusterSimulator(scheduler()).run(jobs)
+        outcome = result.outcomes[0]
+        # 300 iterations at 3.0 it/s (32 GPUs) = 100 s.
+        assert outcome.completion_time == pytest.approx(100.0, rel=1e-6)
+        assert outcome.gpu_seconds == pytest.approx(3200.0, rel=1e-6)
+
+    def test_deadline_miss_terminates(self):
+        jobs = [JobSpec(job_id=0, model_name="m", num_iterations=10_000,
+                        arrival_time=0.0, deadline=10.0)]
+        result = ClusterSimulator(scheduler()).run(jobs)
+        assert result.outcomes[0].terminated
+        assert not result.outcomes[0].met_deadline
+
+    def test_arrival_ordering_respected(self):
+        jobs = [JobSpec(job_id=0, model_name="m", num_iterations=300,
+                        arrival_time=50.0)]
+        result = ClusterSimulator(scheduler()).run(jobs)
+        assert result.outcomes[0].completion_time == pytest.approx(150.0,
+                                                                   rel=1e-6)
+
+    def test_contention_slows_completion(self):
+        solo = ClusterSimulator(scheduler(total_gpus=32)).run(
+            [JobSpec(job_id=0, model_name="m", num_iterations=300,
+                     arrival_time=0.0)])
+        shared = ClusterSimulator(scheduler(total_gpus=32)).run(
+            [JobSpec(job_id=0, model_name="m", num_iterations=300,
+                     arrival_time=0.0),
+             JobSpec(job_id=1, model_name="m", num_iterations=300,
+                     arrival_time=0.0)])
+        assert shared.outcomes[0].completion_time > \
+            solo.outcomes[0].completion_time
+
+    def test_metrics(self):
+        jobs = [JobSpec(job_id=0, model_name="m", num_iterations=300,
+                        arrival_time=0.0, deadline=200.0),
+                JobSpec(job_id=1, model_name="m", num_iterations=30_000,
+                        arrival_time=0.0, deadline=150.0)]
+        result = ClusterSimulator(scheduler()).run(jobs)
+        assert deadline_satisfactory_ratio(result) == pytest.approx(0.5)
+        assert completed_fraction(result) == pytest.approx(0.5)
+        assert average_jct(result) > 0
+        assert makespan(result) > 0
+
+    def test_empty_metrics_raise(self):
+        from repro.cluster.simulator import ClusterRunResult
+        with pytest.raises(SchedulingError):
+            deadline_satisfactory_ratio(ClusterRunResult())
+
+
+class TestTraces:
+    def _profiles(self):
+        from repro.config.presets import TABLE_III_MODELS
+        return {spec.model.name: profile(spec.model.name,
+                                         ((8, 0.01), (128, 0.1), (1024, 0.5)))
+                for spec in TABLE_III_MODELS}
+
+    def test_trace_is_deterministic(self):
+        profiles = self._profiles()
+        first = synthesize_trace(3, 16, profiles)
+        second = synthesize_trace(3, 16, profiles)
+        assert first == second
+
+    def test_different_trace_ids_differ(self):
+        profiles = self._profiles()
+        assert synthesize_trace(1, 16, profiles) != synthesize_trace(
+            2, 16, profiles)
+
+    def test_arrivals_sorted_within_window(self):
+        from repro.cluster.trace import DEFAULT_SUBMISSION_WINDOW
+        jobs = synthesize_trace(1, 32, self._profiles())
+        arrivals = [job.arrival_time for job in jobs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] <= DEFAULT_SUBMISSION_WINDOW * 1.001
+
+    def test_deadlines_follow_lambda_band(self):
+        """Deadline = lambda * duration with lambda in [0.5, 1.5]."""
+        jobs = synthesize_trace(1, 64, self._profiles())
+        for job in jobs:
+            slack = (job.deadline - job.arrival_time) / job.standalone_duration
+            assert 0.5 <= slack <= 1.5
+
+    def test_deadline_free_trace(self):
+        jobs = synthesize_trace(1, 8, self._profiles(), with_deadlines=False)
+        assert all(job.deadline is None for job in jobs)
+
+    def test_makespan_trace_all_at_zero(self):
+        jobs = makespan_trace(16, self._profiles())
+        assert all(job.arrival_time == 0.0 for job in jobs)
+        assert all(job.deadline is None for job in jobs)
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ConfigError):
+            synthesize_trace(1, 0, self._profiles())

@@ -1,0 +1,130 @@
+"""Integration tests for the multi-tenant case study (Figures 12-14).
+
+Uses hand-built throughput profiles with the structural property the
+real ones have — the "vTrain" profile dominates the "ElasticFlow"
+profile pointwise, converging at large allocations — so the scheduling
+claims can be verified quickly and deterministically without running
+the expensive profile builders.
+"""
+
+import pytest
+
+from repro.cluster import (ClusterSimulator, ElasticFlowScheduler,
+                           ThroughputProfile, average_jct,
+                           deadline_satisfactory_ratio, makespan,
+                           makespan_trace, synthesize_trace)
+
+#: Baseline (DP-only) profiles: sub-linear scaling, capped top end.
+EF_PROFILES = {
+    "Megatron 18.4B": ThroughputProfile("Megatron 18.4B", (
+        (8, 0.0040), (16, 0.0079), (32, 0.0155), (64, 0.0300),
+        (128, 0.0570), (256, 0.105), (512, 0.185), (1024, 0.300))),
+    "Megatron 39.1B": ThroughputProfile("Megatron 39.1B", (
+        (16, 0.0028), (32, 0.0055), (64, 0.0106), (128, 0.0200),
+        (256, 0.0370), (512, 0.0650), (1024, 0.105))),
+    "Megatron 81.2B": ThroughputProfile("Megatron 81.2B", (
+        (32, 0.0024), (64, 0.0047), (128, 0.0090), (256, 0.0168),
+        (512, 0.0300), (1024, 0.0500))),
+}
+
+#: vTrain profiles: ~15-20% faster at small/medium allocations,
+#: converging at the top (the measured relationship).
+VT_PROFILES = {
+    name: ThroughputProfile(name, tuple(
+        (gpus, rate * (1.18 if gpus < profile.max_gpus else 1.02))
+        for gpus, rate in profile.table))
+    for name, profile in EF_PROFILES.items()
+}
+
+
+def run_both(jobs):
+    results = {}
+    for label, profiles in (("ef", EF_PROFILES), ("vt", VT_PROFILES)):
+        scheduler = ElasticFlowScheduler(profiles, total_gpus=1024)
+        results[label] = ClusterSimulator(scheduler).run(jobs)
+    return results
+
+
+class TestDeadlines:
+    @pytest.mark.parametrize("trace_id", [1, 2, 3])
+    def test_vtrain_never_worse(self, trace_id):
+        jobs = synthesize_trace(trace_id, 48, EF_PROFILES)
+        results = run_both(jobs)
+        assert deadline_satisfactory_ratio(results["vt"]) >= \
+            deadline_satisfactory_ratio(results["ef"])
+
+    def test_all_jobs_accounted_for(self):
+        jobs = synthesize_trace(5, 32, EF_PROFILES)
+        results = run_both(jobs)
+        for result in results.values():
+            assert result.num_jobs == 32
+            for outcome in result.outcomes:
+                assert outcome.completed or outcome.terminated
+
+    def test_light_load_satisfies_everyone(self):
+        """A couple of jobs on 1,024 GPUs should all meet deadlines."""
+        jobs = synthesize_trace(7, 2, EF_PROFILES)
+        results = run_both(jobs)
+        assert deadline_satisfactory_ratio(results["vt"]) == 1.0
+
+
+class TestJct:
+    @pytest.mark.parametrize("trace_id", [1, 2, 3])
+    def test_vtrain_reduces_jct(self, trace_id):
+        jobs = synthesize_trace(trace_id, 24, EF_PROFILES,
+                                with_deadlines=False)
+        results = run_both(jobs)
+        assert average_jct(results["vt"]) <= average_jct(results["ef"])
+
+    def test_deadline_free_jobs_all_complete(self):
+        jobs = synthesize_trace(4, 24, EF_PROFILES, with_deadlines=False)
+        results = run_both(jobs)
+        for result in results.values():
+            assert all(outcome.completed for outcome in result.outcomes)
+
+
+class TestMakespan:
+    @pytest.mark.parametrize("num_jobs", [8, 24, 48])
+    def test_vtrain_reduces_makespan(self, num_jobs):
+        jobs = makespan_trace(num_jobs, EF_PROFILES)
+        results = run_both(jobs)
+        assert makespan(results["vt"]) <= makespan(results["ef"]) * 1.0001
+
+    def test_makespan_grows_with_jobs(self):
+        spans = []
+        for num_jobs in (8, 24, 48):
+            jobs = makespan_trace(num_jobs, EF_PROFILES)
+            scheduler = ElasticFlowScheduler(EF_PROFILES, total_gpus=1024)
+            spans.append(makespan(ClusterSimulator(scheduler).run(jobs)))
+        assert spans == sorted(spans)
+
+    def test_gpu_accounting_consistent(self):
+        """GPU-seconds consumed never exceed capacity x makespan."""
+        jobs = makespan_trace(24, EF_PROFILES)
+        scheduler = ElasticFlowScheduler(EF_PROFILES, total_gpus=1024)
+        result = ClusterSimulator(scheduler).run(jobs)
+        busy = sum(outcome.gpu_seconds for outcome in result.outcomes)
+        assert busy <= 1024 * makespan(result) * 1.0001
+
+
+class TestSchedulerFairness:
+    def test_identical_profiles_identical_outcomes(self):
+        """With equal profiles, the two 'systems' behave identically."""
+        jobs = synthesize_trace(9, 16, EF_PROFILES)
+        first = ClusterSimulator(
+            ElasticFlowScheduler(EF_PROFILES, 1024)).run(jobs)
+        second = ClusterSimulator(
+            ElasticFlowScheduler(EF_PROFILES, 1024)).run(jobs)
+        assert [o.completion_time for o in first.outcomes] == \
+            [o.completion_time for o in second.outcomes]
+
+    def test_capacity_respected_at_every_allocation(self):
+        """The scheduler never hands out more than the cluster has."""
+        from repro.cluster.scheduler import SchedulableJob
+        scheduler = ElasticFlowScheduler(EF_PROFILES, total_gpus=128)
+        jobs = [SchedulableJob(job_id=i, model_name="Megatron 18.4B",
+                               remaining_iterations=1000.0,
+                               arrival_time=0.0, deadline=None)
+                for i in range(10)]
+        allocation = scheduler.allocate(jobs, now=0.0)
+        assert sum(allocation.values()) <= 128

@@ -1,0 +1,74 @@
+"""Unit tests for the input description file (Figure 4, step 1)."""
+
+import pytest
+
+from repro.config.description import InputDescription
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
+                                      RecomputeMode, TrainingConfig)
+from repro.config.system import single_node
+from repro.errors import ConfigError, InfeasibleConfigError
+
+
+@pytest.fixture
+def description(tiny_model, training):
+    plan = ParallelismConfig(tensor=2, data=2, pipeline=2, micro_batch_size=2,
+                             schedule=PipelineSchedule.GPIPE,
+                             recompute=RecomputeMode.FULL)
+    return InputDescription(model=tiny_model, system=single_node(),
+                            plan=plan, training=training)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, description):
+        rebuilt = InputDescription.from_dict(description.to_dict())
+        assert rebuilt.model == description.model
+        assert rebuilt.plan == description.plan
+        assert rebuilt.training == description.training
+        assert rebuilt.system.num_gpus == description.system.num_gpus
+        assert rebuilt.system.gpu == description.system.gpu
+
+    def test_json_round_trip(self, description):
+        rebuilt = InputDescription.from_json(description.to_json())
+        assert rebuilt.plan.schedule is PipelineSchedule.GPIPE
+        assert rebuilt.plan.recompute is RecomputeMode.FULL
+
+    def test_file_round_trip(self, description, tmp_path):
+        path = tmp_path / "desc.json"
+        description.save(path)
+        rebuilt = InputDescription.load(path)
+        assert rebuilt.model.name == description.model.name
+
+
+class TestValidation:
+    def test_validate_passes_for_consistent_input(self, description):
+        assert description.validate() is description
+
+    def test_validate_rejects_gpu_mismatch(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=1)  # 4 GPUs
+        desc = InputDescription(model=tiny_model, system=single_node(),
+                                plan=plan, training=training)
+        with pytest.raises(InfeasibleConfigError):
+            desc.validate()
+
+    def test_missing_section_raises_config_error(self):
+        with pytest.raises(ConfigError, match="missing"):
+            InputDescription.from_dict({"model": {
+                "hidden_size": 64, "num_layers": 1, "seq_length": 8,
+                "num_heads": 1}})
+
+    def test_bad_json_raises_config_error(self):
+        with pytest.raises(ConfigError, match="JSON"):
+            InputDescription.from_json("{not json")
+
+    def test_unknown_gpu_raises(self, description):
+        payload = description.to_dict()
+        payload["system"]["gpu"] = "TPU-v9"
+        with pytest.raises(ConfigError, match="unknown GPU"):
+            InputDescription.from_dict(payload)
+
+    def test_bad_field_raises_config_error(self, description):
+        payload = description.to_dict()
+        payload["parallelism"]["tensor"] = "eight"
+        with pytest.raises(ConfigError):
+            InputDescription.from_dict(payload)

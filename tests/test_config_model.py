@@ -1,0 +1,121 @@
+"""Unit tests for the model description and FLOP/parameter accounting."""
+
+import pytest
+
+from repro.config.model import ModelConfig
+from repro.config.presets import (GPT3_175B, MEGATRON_3_6B, MEGATRON_18_4B,
+                                  MEGATRON_39_1B, MEGATRON_81_2B,
+                                  MEGATRON_145_6B, MT_NLG_530B)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_rejects_non_positive_hidden_size(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(hidden_size=0, num_layers=1, seq_length=8, num_heads=1)
+
+    def test_rejects_non_integer_layers(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(hidden_size=64, num_layers=1.5, seq_length=8,
+                        num_heads=1)
+
+    def test_rejects_heads_not_dividing_hidden(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(hidden_size=100, num_layers=2, seq_length=8,
+                        num_heads=3)
+
+    def test_negative_vocab_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(hidden_size=64, num_layers=2, seq_length=8,
+                        num_heads=2, vocab_size=-1)
+
+
+class TestDerivedDimensions:
+    def test_head_dim(self):
+        model = ModelConfig(hidden_size=512, num_layers=2, seq_length=8,
+                            num_heads=8)
+        assert model.head_dim == 64
+
+    def test_ffn_hidden_size_is_4h(self):
+        model = ModelConfig(hidden_size=512, num_layers=2, seq_length=8,
+                            num_heads=8)
+        assert model.ffn_hidden_size == 2048
+
+    def test_padded_vocab_divisible_by_shards(self):
+        model = ModelConfig(hidden_size=512, num_layers=2, seq_length=8,
+                            num_heads=8, vocab_size=50_257)
+        for t in (1, 2, 4, 8):
+            padded = model.padded_vocab_size(t)
+            assert padded >= model.vocab_size
+            assert padded % (128 * t) == 0
+
+    def test_padded_vocab_rejects_bad_tensor(self):
+        model = ModelConfig(hidden_size=512, num_layers=2, seq_length=8,
+                            num_heads=8)
+        with pytest.raises(ConfigError):
+            model.padded_vocab_size(0)
+
+
+class TestParameterCounts:
+    """The presets must land on their published parameter counts."""
+
+    @pytest.mark.parametrize("model,expected_billion", [
+        (GPT3_175B, 175.0),
+        (MT_NLG_530B, 530.0),
+        (MEGATRON_3_6B, 3.6),
+        (MEGATRON_18_4B, 18.4),
+        (MEGATRON_39_1B, 39.1),
+        (MEGATRON_81_2B, 81.2),
+        (MEGATRON_145_6B, 145.6),
+    ])
+    def test_published_sizes(self, model, expected_billion):
+        assert model.parameters_billion == pytest.approx(expected_billion,
+                                                         rel=0.02)
+
+    def test_total_includes_layers_and_embeddings(self, tiny_model):
+        total = tiny_model.num_parameters()
+        parts = (tiny_model.num_layers * tiny_model.params_per_layer()
+                 + tiny_model.embedding_params())
+        assert total > parts  # final layernorm on top
+        assert total - parts == 2 * tiny_model.hidden_size
+
+    def test_params_per_layer_dominated_by_12h2(self, tiny_model):
+        h = tiny_model.hidden_size
+        assert tiny_model.params_per_layer() == pytest.approx(12 * h * h,
+                                                              rel=0.01)
+
+
+class TestFlopAccounting:
+    def test_backward_is_twice_forward(self, tiny_model):
+        assert tiny_model.flops_per_token() == pytest.approx(
+            3.0 * tiny_model.flops_per_token_forward())
+
+    def test_flops_per_token_close_to_6n(self):
+        """For big models, FLOPs/token ~ 6 x parameters (the standard
+        rule the paper's utilization metric builds on)."""
+        ratio = MT_NLG_530B.flops_per_token() / MT_NLG_530B.num_parameters()
+        assert 5.5 < ratio < 7.5
+
+    def test_iteration_flops_scale_with_tokens(self, tiny_model):
+        one = tiny_model.model_flops_per_iteration(1000)
+        two = tiny_model.model_flops_per_iteration(2000)
+        assert two == pytest.approx(2 * one)
+
+    def test_iteration_flops_reject_zero_tokens(self, tiny_model):
+        with pytest.raises(ConfigError):
+            tiny_model.model_flops_per_iteration(0)
+
+
+class TestConvenience:
+    def test_scaled_replaces_fields(self, tiny_model):
+        wider = tiny_model.scaled(hidden_size=1024, num_heads=16)
+        assert wider.hidden_size == 1024
+        assert wider.num_layers == tiny_model.num_layers
+
+    def test_describe_mentions_dimensions(self, tiny_model):
+        text = tiny_model.describe()
+        assert "h=512" in text and "L=4" in text
+
+    def test_frozen(self, tiny_model):
+        with pytest.raises(AttributeError):
+            tiny_model.hidden_size = 1

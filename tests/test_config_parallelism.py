@@ -1,0 +1,122 @@
+"""Unit tests for parallelism/training configs and plan validation."""
+
+import pytest
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
+                                      RecomputeMode, TrainingConfig,
+                                      layers_per_stage, num_micro_batches,
+                                      validate_plan)
+from repro.errors import ConfigError, InfeasibleConfigError
+
+
+class TestParallelismConfig:
+    def test_total_gpus(self):
+        plan = ParallelismConfig(tensor=8, data=12, pipeline=21)
+        assert plan.total_gpus == 2016
+
+    def test_way_matches_paper_notation(self):
+        plan = ParallelismConfig(tensor=4, data=2, pipeline=3)
+        assert plan.way == (4, 2, 3)
+
+    def test_rejects_zero_degrees(self):
+        with pytest.raises(ConfigError):
+            ParallelismConfig(tensor=0, data=1, pipeline=1)
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ConfigError):
+            ParallelismConfig(tensor=1, data=1, pipeline=1,
+                              num_gradient_buckets=0)
+
+    def test_describe_includes_schedule(self):
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=1,
+                                 schedule=PipelineSchedule.GPIPE)
+        assert "gpipe" in plan.describe()
+
+    def test_replaced(self):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2)
+        bigger = plan.replaced(micro_batch_size=4)
+        assert bigger.micro_batch_size == 4
+        assert bigger.way == plan.way
+
+    def test_defaults_match_megatron_practice(self):
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=1)
+        assert plan.schedule is PipelineSchedule.ONE_F_ONE_B
+        assert plan.gradient_bucketing
+        assert plan.recompute is RecomputeMode.SELECTIVE
+
+
+class TestTrainingConfig:
+    def test_tokens_per_iteration(self, tiny_model):
+        training = TrainingConfig(global_batch_size=16)
+        assert training.tokens_per_iteration(tiny_model) == 16 * 128
+
+    def test_num_iterations_ceils(self, tiny_model):
+        training = TrainingConfig(global_batch_size=16, total_tokens=2049 * 16)
+        # 16 * 128 = 2048 tokens/iter -> 2049*16 tokens need 17 iterations.
+        assert training.num_iterations(tiny_model) == 17
+
+    def test_num_iterations_zero_without_budget(self, tiny_model):
+        training = TrainingConfig(global_batch_size=16)
+        assert training.num_iterations(tiny_model) == 0
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(global_batch_size=0)
+
+
+class TestValidatePlan:
+    def _model(self) -> ModelConfig:
+        return ModelConfig(hidden_size=256, num_layers=6, seq_length=64,
+                           num_heads=8)
+
+    def test_accepts_valid_plan(self):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=3,
+                                 micro_batch_size=2)
+        validate_plan(self._model(), plan, TrainingConfig(global_batch_size=8),
+                      num_gpus=12)
+
+    def test_rejects_gpu_mismatch(self):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=3)
+        with pytest.raises(InfeasibleConfigError, match="GPUs"):
+            validate_plan(self._model(), plan,
+                          TrainingConfig(global_batch_size=8), num_gpus=8)
+
+    def test_rejects_pipeline_not_dividing_layers(self):
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=4)
+        with pytest.raises(InfeasibleConfigError, match="pipeline"):
+            validate_plan(self._model(), plan,
+                          TrainingConfig(global_batch_size=8), num_gpus=4)
+
+    def test_rejects_tensor_not_dividing_heads(self):
+        plan = ParallelismConfig(tensor=3, data=1, pipeline=1)
+        with pytest.raises(InfeasibleConfigError, match="tensor"):
+            validate_plan(self._model(), plan,
+                          TrainingConfig(global_batch_size=8), num_gpus=3)
+
+    def test_rejects_data_not_dividing_batch(self):
+        plan = ParallelismConfig(tensor=1, data=3, pipeline=1)
+        with pytest.raises(InfeasibleConfigError, match="data"):
+            validate_plan(self._model(), plan,
+                          TrainingConfig(global_batch_size=8), num_gpus=3)
+
+    def test_rejects_micro_batch_not_dividing_replica_batch(self):
+        plan = ParallelismConfig(tensor=1, data=2, pipeline=1,
+                                 micro_batch_size=3)
+        with pytest.raises(InfeasibleConfigError, match="micro-batch"):
+            validate_plan(self._model(), plan,
+                          TrainingConfig(global_batch_size=8), num_gpus=2)
+
+
+class TestDerivedQuantities:
+    def test_num_micro_batches(self):
+        plan = ParallelismConfig(tensor=1, data=2, pipeline=1,
+                                 micro_batch_size=2)
+        training = TrainingConfig(global_batch_size=16)
+        assert num_micro_batches(plan, training) == 4
+
+    def test_layers_per_stage(self):
+        model = ModelConfig(hidden_size=256, num_layers=12, seq_length=64,
+                            num_heads=8)
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=3)
+        assert layers_per_stage(model, plan) == 4

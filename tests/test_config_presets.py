@@ -1,0 +1,77 @@
+"""Unit tests for the paper's model and plan presets."""
+
+import pytest
+
+from repro.config.parallelism import TrainingConfig, validate_plan
+from repro.config.presets import (MODEL_ZOO, MT_NLG_530B,
+                                  MT_NLG_BASELINE_PLANS, MT_NLG_TRAINING,
+                                  MT_NLG_VTRAIN_PLANS, TABLE_II_ROWS,
+                                  TABLE_III_MODELS)
+
+
+class TestMTNLG:
+    def test_hyperparameters_match_section_va(self):
+        assert MT_NLG_530B.hidden_size == 20_480
+        assert MT_NLG_530B.num_layers == 105
+        assert MT_NLG_530B.num_heads == 128
+
+    def test_training_recipe(self):
+        assert MT_NLG_TRAINING.global_batch_size == 1920
+        assert MT_NLG_TRAINING.total_tokens == 270e9
+
+    def test_iteration_count_near_68k(self):
+        """Section V-A: ~68,000 iterations for end-to-end training."""
+        iterations = MT_NLG_TRAINING.num_iterations(MT_NLG_530B)
+        assert iterations == pytest.approx(68_000, rel=0.02)
+
+    @pytest.mark.parametrize("plan", MT_NLG_BASELINE_PLANS)
+    def test_baseline_plans_are_structurally_valid(self, plan):
+        validate_plan(MT_NLG_530B, plan, MT_NLG_TRAINING, plan.total_gpus)
+
+    @pytest.mark.parametrize("plan", MT_NLG_VTRAIN_PLANS)
+    def test_vtrain_plans_are_structurally_valid(self, plan):
+        validate_plan(MT_NLG_530B, plan, MT_NLG_TRAINING, plan.total_gpus)
+
+    def test_baseline_gpu_counts_match_table1(self):
+        assert [p.total_gpus for p in MT_NLG_BASELINE_PLANS] == [
+            2240, 2800, 3360]
+
+    def test_vtrain_plans_use_fewer_or_equal_gpus(self):
+        for base, ours in zip(MT_NLG_BASELINE_PLANS, MT_NLG_VTRAIN_PLANS):
+            assert ours.total_gpus <= base.total_gpus
+
+
+class TestTableIII:
+    def test_three_models(self):
+        assert len(TABLE_III_MODELS) == 3
+
+    @pytest.mark.parametrize("spec,expected", zip(
+        TABLE_III_MODELS, [(40, 6144, 48, 1024), (48, 8192, 64, 1536),
+                           (64, 10240, 80, 1792)]))
+    def test_rows_match_paper(self, spec, expected):
+        layers, hidden, heads, batch = expected
+        assert spec.model.num_layers == layers
+        assert spec.model.hidden_size == hidden
+        assert spec.model.num_heads == heads
+        assert spec.global_batch_size == batch
+
+
+class TestTableII:
+    def test_rows_cover_64_256_512_gpus(self):
+        assert [row.num_gpus for row in TABLE_II_ROWS] == [64, 256, 512]
+
+    @pytest.mark.parametrize("row", TABLE_II_ROWS)
+    def test_both_plans_valid(self, row):
+        training = TrainingConfig(global_batch_size=row.global_batch_size)
+        validate_plan(row.model, row.megatron_plan, training, row.num_gpus)
+        validate_plan(row.model, row.vtrain_plan, training, row.num_gpus)
+
+
+class TestZoo:
+    def test_zoo_is_keyed_by_name(self):
+        for name, model in MODEL_ZOO.items():
+            assert model.name == name
+
+    def test_zoo_models_are_distinct(self):
+        sizes = [m.num_parameters() for m in MODEL_ZOO.values()]
+        assert len(set(sizes)) == len(sizes)

@@ -1,0 +1,57 @@
+"""Unit tests for the training-system configuration."""
+
+import pytest
+
+from repro.config.system import GBPS, SystemConfig, multi_node, single_node
+from repro.errors import ConfigError
+from repro.hardware.gpu import A100_40GB, A100_80GB
+
+
+class TestSystemConfig:
+    def test_defaults_match_paper_cluster(self):
+        system = multi_node(64)
+        assert system.num_gpus == 512
+        assert system.gpus_per_node == 8
+        assert system.gpu is A100_80GB
+        assert system.internode_bandwidth == pytest.approx(800 * GBPS)
+
+    def test_num_nodes(self):
+        assert multi_node(4).num_nodes == 4
+        assert single_node().num_nodes == 1
+
+    def test_effective_bandwidth_scales_with_alpha(self):
+        system = SystemConfig(num_gpus=16, bandwidth_effectiveness=0.5)
+        assert system.effective_internode_bandwidth == pytest.approx(
+            0.5 * system.internode_bandwidth)
+
+    def test_peak_system_flops(self):
+        system = single_node()
+        assert system.peak_system_flops() == pytest.approx(8 * 312e12)
+
+    def test_with_gpus_resizes(self):
+        system = multi_node(2)
+        bigger = system.with_gpus(64)
+        assert bigger.num_gpus == 64
+        assert bigger.gpu is system.gpu
+
+    def test_rejects_partial_nodes(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_gpus=12, gpus_per_node=8)
+
+    def test_single_gpu_allowed(self):
+        assert SystemConfig(num_gpus=4, gpus_per_node=8).num_nodes == 1
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_gpus=8, bandwidth_effectiveness=0.0)
+        with pytest.raises(ConfigError):
+            SystemConfig(num_gpus=8, bandwidth_effectiveness=1.5)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigError):
+            multi_node(0)
+
+    def test_describe_mentions_gpu_and_nodes(self):
+        text = multi_node(2, gpu=A100_40GB).describe()
+        assert "A100-SXM4-40GB" in text
+        assert "2 nodes" in text

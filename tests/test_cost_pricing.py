@@ -1,0 +1,42 @@
+"""Unit tests for the pricing model."""
+
+import pytest
+
+from repro.cost.pricing import (DEFAULT_PRICING, P4D_DOLLARS_PER_GPU_HOUR,
+                                PricingModel)
+from repro.errors import ConfigError
+
+
+class TestPricing:
+    def test_table1_burn_rate(self):
+        """Table I: 2,240 GPUs cost $11,200/hour."""
+        assert DEFAULT_PRICING.dollars_per_hour(2240) == pytest.approx(11_200)
+
+    def test_table1_total_cost(self):
+        """Table I row 1: 33.52 days on 2,240 GPUs ~ $9.01M."""
+        cost = DEFAULT_PRICING.cost_of_days(2240, 33.52)
+        assert cost == pytest.approx(9.01e6, rel=0.01)
+
+    def test_cost_linear_in_time(self):
+        assert DEFAULT_PRICING.cost(8, 7200) == pytest.approx(
+            2 * DEFAULT_PRICING.cost(8, 3600))
+
+    def test_default_constant(self):
+        assert DEFAULT_PRICING.dollars_per_gpu_hour == \
+            P4D_DOLLARS_PER_GPU_HOUR
+
+    def test_custom_rate(self):
+        cheap = PricingModel(dollars_per_gpu_hour=1.0)
+        assert cheap.dollars_per_hour(100) == pytest.approx(100.0)
+
+    def test_rejects_free_gpus(self):
+        with pytest.raises(ConfigError):
+            PricingModel(dollars_per_gpu_hour=0.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_PRICING.cost(8, -1.0)
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_PRICING.dollars_per_hour(0)

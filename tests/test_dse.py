@@ -1,0 +1,164 @@
+"""Unit tests for design-space enumeration and exploration."""
+
+import pytest
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.space import (SearchSpace, count_plans, divisors,
+                             enumerate_plans, pipeline_candidates,
+                             powers_of_two, tensor_candidates)
+from repro.errors import ConfigError, InfeasibleConfigError
+
+
+@pytest.fixture
+def model():
+    return ModelConfig(hidden_size=1024, num_layers=12, seq_length=512,
+                       num_heads=16, name="dse-model")
+
+
+@pytest.fixture
+def training():
+    return TrainingConfig(global_batch_size=32)
+
+
+class TestSpaceHelpers:
+    def test_powers_of_two(self):
+        assert powers_of_two(16) == [1, 2, 4, 8, 16]
+        assert powers_of_two(1) == [1]
+        with pytest.raises(ConfigError):
+            powers_of_two(0)
+
+    def test_divisors(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(105) == [1, 3, 5, 7, 15, 21, 35, 105]
+        with pytest.raises(ConfigError):
+            divisors(0)
+
+    def test_tensor_candidates_divide_heads(self, model):
+        assert tensor_candidates(model, SearchSpace()) == [1, 2, 4, 8, 16]
+        narrow = ModelConfig(hidden_size=768, num_layers=12, seq_length=512,
+                             num_heads=12)
+        assert tensor_candidates(narrow, SearchSpace()) == [1, 2, 4]
+
+    def test_pipeline_candidates_divide_layers(self, model):
+        assert pipeline_candidates(model, SearchSpace(max_pipeline=6)) == [
+            1, 2, 3, 4, 6]
+
+
+class TestEnumeration:
+    def test_exact_gpu_count(self, model, training):
+        plans = list(enumerate_plans(model, training, num_gpus=16))
+        assert plans
+        assert all(p.total_gpus == 16 for p in plans)
+
+    def test_max_gpu_budget(self, model, training):
+        plans = list(enumerate_plans(model, training, max_gpus=8))
+        assert all(p.total_gpus <= 8 for p in plans)
+
+    def test_structural_constraints_hold(self, model, training):
+        for plan in enumerate_plans(model, training, max_gpus=16):
+            assert model.num_heads % plan.tensor == 0
+            assert model.num_layers % plan.pipeline == 0
+            assert training.global_batch_size % plan.data == 0
+            per_replica = training.global_batch_size // plan.data
+            assert per_replica % plan.micro_batch_size == 0
+
+    def test_requires_exactly_one_budget(self, model, training):
+        with pytest.raises(ConfigError):
+            list(enumerate_plans(model, training))
+        with pytest.raises(ConfigError):
+            list(enumerate_plans(model, training, num_gpus=8, max_gpus=8))
+
+    def test_count_matches_enumeration(self, model, training):
+        count = count_plans(model, training, max_gpus=16)
+        assert count == len(list(enumerate_plans(model, training,
+                                                 max_gpus=16)))
+
+    def test_paper_scale_space_is_thousands(self):
+        """Section V-A: 'several thousands of different 3D parallelism'
+        configurations for the MT-NLG sweep."""
+        from repro.config.presets import MT_NLG_530B, MT_NLG_TRAINING
+        count = count_plans(MT_NLG_530B, MT_NLG_TRAINING,
+                            max_gpus=16 * 32 * 105)
+        assert count > 2000
+
+
+class TestExplorer:
+    def test_explore_marks_feasibility(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=8, space=SearchSpace(
+            max_tensor=8, max_data=8, max_pipeline=4,
+            micro_batch_sizes=(1, 2)))
+        assert result.points
+        assert result.num_feasible > 0
+        for point in result.feasible_points:
+            assert point.iteration_time > 0
+            assert 0 < point.utilization < 1
+
+    def test_best_by_iteration_time(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=8)
+        best = result.best_by_iteration_time()
+        assert all(best.iteration_time <= p.iteration_time
+                   for p in result.feasible_points)
+
+    def test_best_with_gpu_constraint(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=16)
+        best = result.best_by_iteration_time(num_gpus=8)
+        assert best.num_gpus == 8
+
+    def test_best_by_cost_not_worse_than_fastest(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=16)
+        cheapest = result.best_by_cost()
+        fastest = result.best_by_iteration_time()
+        assert cheapest.cost_per_iteration() <= \
+            fastest.cost_per_iteration() + 1e-12
+
+    def test_pareto_frontier_is_monotone(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=16)
+        frontier = result.pareto_frontier()
+        times = [p.iteration_time for p in frontier]
+        costs = [p.cost_per_iteration() for p in frontier]
+        assert times == sorted(times)
+        assert costs == sorted(costs, reverse=True)
+
+    def test_heatmap_keys_are_ways(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=8)
+        grid = result.heatmap("utilization")
+        assert grid
+        for way in grid:
+            assert len(way) == 3
+
+    def test_heatmap_rejects_unknown_metric(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=8)
+        with pytest.raises(ConfigError):
+            result.heatmap("power")
+
+    def test_no_match_raises(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=8)
+        with pytest.raises(InfeasibleConfigError):
+            result.best_by_iteration_time(num_gpus=7)
+
+    def test_infeasible_plan_becomes_row(self, training):
+        """Memory-busting plans appear with feasible=False, not raises."""
+        big = ModelConfig(hidden_size=8192, num_layers=12, seq_length=2048,
+                          num_heads=64, name="big")
+        explorer = DesignSpaceExplorer(big, TrainingConfig(global_batch_size=32))
+        point = explorer.evaluate(ParallelismConfig(tensor=1, data=1,
+                                                    pipeline=1))
+        assert not point.feasible
+        assert "GiB" in point.infeasible_reason
+
+    def test_micro_batch_collapse(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=8)
+        collapsed = result.best_micro_batch_per_way()
+        ways = [p.plan.way for p in result.feasible_points]
+        assert set(collapsed) == set(ways)

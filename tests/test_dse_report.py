@@ -1,0 +1,62 @@
+"""Unit tests for DSE result export."""
+
+import pytest
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import TrainingConfig
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.report import load_csv, save_csv, to_csv, to_markdown
+from repro.dse.space import SearchSpace
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def result():
+    model = ModelConfig(hidden_size=1024, num_layers=8, seq_length=512,
+                        num_heads=16, name="report-model")
+    training = TrainingConfig(global_batch_size=32)
+    explorer = DesignSpaceExplorer(model, training)
+    return explorer.explore(max_gpus=8, space=SearchSpace(
+        max_tensor=8, max_data=8, max_pipeline=8,
+        micro_batch_sizes=(1, 2)))
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        text = to_csv(result)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("tensor,data,pipeline")
+        assert len(lines) == 1 + result.num_feasible
+
+    def test_include_infeasible(self, result):
+        text = to_csv(result, include_infeasible=True)
+        assert len(text.strip().splitlines()) == 1 + len(result.points)
+
+    def test_round_trip(self, result, tmp_path):
+        path = tmp_path / "dse.csv"
+        save_csv(result, path)
+        rows = load_csv(path)
+        assert len(rows) == result.num_feasible
+        first = rows[0]
+        assert int(first["num_gpus"]) == (int(first["tensor"])
+                                          * int(first["data"])
+                                          * int(first["pipeline"]))
+        assert float(first["iteration_time_s"]) > 0
+
+
+class TestMarkdown:
+    def test_table_structure(self, result):
+        text = to_markdown(result, top=5)
+        lines = text.splitlines()
+        assert lines[0].startswith("| (t, d, p) |")
+        assert len(lines) == 2 + min(5, result.num_feasible)
+
+    def test_sort_by_time_ascending(self, result):
+        text = to_markdown(result, top=3, sort_by="time")
+        times = [float(line.split("|")[4]) for line in
+                 text.splitlines()[2:]]
+        assert times == sorted(times)
+
+    def test_unknown_sort_rejected(self, result):
+        with pytest.raises(ConfigError):
+            to_markdown(result, sort_by="vibes")

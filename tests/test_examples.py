@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the first thing a downstream user touches; these tests run
+each script's ``main()`` in-process (stdout captured by pytest) so a
+refactor that breaks an example fails CI rather than the user. The
+slower case studies are marked ``slow``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamples:
+    def test_hardware_whatif(self, capsys):
+        load_example("hardware_whatif").main()
+        out = capsys.readouterr().out
+        assert "A100-SXM4-80GB" in out
+        assert "H100" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Predicted iteration time" in out
+        assert "Total training cost" in out
+
+
+@pytest.mark.slow
+class TestCaseStudyExamples:
+    def test_chinchilla_budget(self, capsys):
+        load_example("chinchilla_budget").main()
+        out = capsys.readouterr().out
+        assert "Naive Chinchilla point" in out
+        assert "Realistic compute-optimal model" in out
+
+    def test_validation_campaign(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["validation_campaign.py"])
+        load_example("validation_campaign").main()
+        out = capsys.readouterr().out
+        assert "MAPE" in out
+        assert "Multi-node campaign" in out
+
+    def test_multi_tenant_cluster(self, capsys):
+        load_example("multi_tenant_cluster").main()
+        out = capsys.readouterr().out
+        assert "ElasticFlow" in out
+        assert "deadline ratio" in out

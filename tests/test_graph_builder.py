@@ -1,0 +1,220 @@
+"""Unit and structural tests for the execution-graph builder.
+
+These tests verify the paper's graph-construction semantics: operator
+counts, communication-operator insertion (Figures 5, 6), pipeline
+dependencies (Figure 8), gradient-bucketing edges, and the exactness of
+granularity aggregation.
+"""
+
+import pytest
+
+from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
+                                      RecomputeMode, TrainingConfig)
+from repro.config.system import multi_node, single_node
+from repro.errors import ConfigError
+from repro.graph.builder import Granularity, GraphBuilder
+from repro.graph.structure import (KIND_COMPUTE, KIND_DP_COMM, KIND_PP_COMM,
+                                   KIND_TP_COMM, KIND_WEIGHT_UPDATE)
+from repro.profiling.cupti import CuptiTracer
+from repro.profiling.lookup import OperatorToTaskTable
+from repro.profiling.nccl import NcclModel
+from repro.hardware.kernels import DeviceModel
+from repro.sim.engine import simulate
+
+
+def build(model, plan, training, system=None,
+          granularity=Granularity.OPERATOR):
+    system = system or single_node()
+    device = DeviceModel(system.gpu)
+    lookup = OperatorToTaskTable(CuptiTracer(device))
+    builder = GraphBuilder(model, system, plan, training, lookup,
+                           NcclModel(system), granularity)
+    return builder.build()
+
+
+class TestStructure:
+    def test_acyclic(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        graph = build(tiny_model, plan, training)
+        graph.validate_acyclic()
+
+    def test_num_devices_equals_pipeline_depth(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=1, data=2, pipeline=4)
+        graph = build(tiny_model, plan, training)
+        assert graph.num_devices == 4
+
+    def test_weight_update_per_stage(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=4)
+        graph = build(tiny_model, plan, training)
+        updates = [n for n in graph.nodes if n.kind == KIND_WEIGHT_UPDATE]
+        assert len(updates) == 4
+        assert {n.device for n in updates} == {0, 1, 2, 3}
+
+    def test_plan_exceeding_system_rejected(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=8, data=2, pipeline=1)
+        with pytest.raises(ConfigError):
+            build(tiny_model, plan, training, system=single_node())
+
+
+class TestTensorParallelComm:
+    def test_tp_allreduce_count(self, tiny_model, training):
+        """2 ARs per layer per direction + 1 after the embedding, per
+        micro-batch (Figure 6)."""
+        plan = ParallelismConfig(tensor=2, data=1, pipeline=1,
+                                 micro_batch_size=4)
+        graph = build(tiny_model, plan, training)
+        nmb = 16 // 4
+        ars = [n for n in graph.nodes if n.kind == KIND_TP_COMM]
+        expected = nmb * (4 * tiny_model.num_layers + 1)
+        assert len(ars) == expected
+
+    def test_no_tp_comm_when_t_is_1(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=1, data=2, pipeline=1)
+        graph = build(tiny_model, plan, training)
+        assert not [n for n in graph.nodes if n.kind == KIND_TP_COMM]
+
+    def test_tp_allreduce_is_sequential_dependency(self, tiny_model, training):
+        """TP All-Reduce lives on the compute stream (Figure 6: it blocks
+        the next block's compute)."""
+        plan = ParallelismConfig(tensor=2, data=1, pipeline=1)
+        graph = build(tiny_model, plan, training)
+        for node in graph.nodes:
+            if node.kind == KIND_TP_COMM:
+                assert node.stream == "compute"
+
+
+class TestDataParallelComm:
+    def test_bucket_count(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=1, data=2, pipeline=1,
+                                 num_gradient_buckets=4)
+        graph = build(tiny_model, plan, training)
+        ars = [n for n in graph.nodes if n.kind == KIND_DP_COMM]
+        assert len(ars) == 4  # min(4 buckets, 4 layers)
+
+    def test_bucketing_disabled_single_allreduce(self, tiny_model, training):
+        """Figure 5(b): one All-Reduce at the very end of backward."""
+        plan = ParallelismConfig(tensor=1, data=2, pipeline=1,
+                                 gradient_bucketing=False)
+        graph = build(tiny_model, plan, training)
+        ars = [n for n in graph.nodes if n.kind == KIND_DP_COMM]
+        assert len(ars) == 1
+
+    def test_no_dp_comm_when_d_is_1(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=2, data=1, pipeline=2)
+        graph = build(tiny_model, plan, training)
+        assert not [n for n in graph.nodes if n.kind == KIND_DP_COMM]
+
+    def test_dp_allreduce_on_comm_stream(self, tiny_model, training):
+        """Figure 5(a): bucket All-Reduces overlap backward compute."""
+        plan = ParallelismConfig(tensor=1, data=2, pipeline=1)
+        graph = build(tiny_model, plan, training)
+        for node in graph.nodes:
+            if node.kind == KIND_DP_COMM:
+                assert node.stream == "comm"
+
+    def test_bucket_sizes_sum_to_stage_gradients(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=1, data=2, pipeline=1,
+                                 num_gradient_buckets=3)
+        system = single_node()
+        device = DeviceModel(system.gpu)
+        lookup = OperatorToTaskTable(CuptiTracer(device))
+        builder = GraphBuilder(tiny_model, system, plan, training, lookup,
+                               NcclModel(system))
+        total = sum(builder._bucket_bytes(0, k)
+                    for k in range(len(builder.bucket_layers)))
+        expected = 2.0 * builder.stage_params[0]
+        assert total == pytest.approx(expected)
+
+
+class TestPipelineComm:
+    def test_send_recv_count(self, tiny_model, training):
+        """2 x (p-1) x NMB Send-Receives (forward + backward)."""
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=4,
+                                 micro_batch_size=4)
+        graph = build(tiny_model, plan, training)
+        nmb = 4
+        sends = [n for n in graph.nodes if n.kind == KIND_PP_COMM]
+        assert len(sends) == 2 * 3 * nmb
+
+    def test_no_pp_comm_single_stage(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=1, data=2, pipeline=1)
+        graph = build(tiny_model, plan, training)
+        assert not [n for n in graph.nodes if n.kind == KIND_PP_COMM]
+
+
+class TestGranularityConsistency:
+    """Coarser graphs must predict the same iteration time: operator
+    durations are exact sums of their kernels (single-stream execution)."""
+
+    @pytest.mark.parametrize("plan", [
+        ParallelismConfig(tensor=2, data=2, pipeline=2, micro_batch_size=2),
+        ParallelismConfig(tensor=1, data=1, pipeline=4, micro_batch_size=1),
+        ParallelismConfig(tensor=4, data=2, pipeline=1, micro_batch_size=4,
+                          schedule=PipelineSchedule.GPIPE),
+    ])
+    def test_kernel_vs_operator_identical(self, tiny_model, training, plan):
+        op_time = simulate(build(tiny_model, plan, training,
+                                 granularity=Granularity.OPERATOR)).iteration_time
+        kernel_time = simulate(build(tiny_model, plan, training,
+                                     granularity=Granularity.KERNEL)).iteration_time
+        assert kernel_time == pytest.approx(op_time, rel=1e-9)
+
+    def test_stage_close_to_operator(self, tiny_model, training):
+        """Stage granularity is an aggregation, not an approximation of
+        compute; only comm-overlap timing differs slightly."""
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        op_time = simulate(build(tiny_model, plan, training,
+                                 granularity=Granularity.OPERATOR)).iteration_time
+        stage_time = simulate(build(tiny_model, plan, training,
+                                    granularity=Granularity.STAGE)).iteration_time
+        assert stage_time == pytest.approx(op_time, rel=0.05)
+
+    def test_stage_granularity_much_smaller(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=1)
+        op_graph = build(tiny_model, plan, training,
+                         granularity=Granularity.OPERATOR)
+        stage_graph = build(tiny_model, plan, training,
+                            granularity=Granularity.STAGE)
+        assert len(stage_graph) < len(op_graph) / 3
+
+
+class TestRecompute:
+    def test_full_recompute_slower_than_selective(self, tiny_model, training):
+        base = dict(tensor=1, data=1, pipeline=1, micro_batch_size=2)
+        fast = simulate(build(
+            tiny_model,
+            ParallelismConfig(recompute=RecomputeMode.SELECTIVE, **base),
+            training)).iteration_time
+        slow = simulate(build(
+            tiny_model,
+            ParallelismConfig(recompute=RecomputeMode.FULL, **base),
+            training)).iteration_time
+        assert slow > fast
+
+    def test_none_recompute_fastest(self, tiny_model, training):
+        base = dict(tensor=1, data=1, pipeline=1, micro_batch_size=2)
+        none = simulate(build(
+            tiny_model, ParallelismConfig(recompute=RecomputeMode.NONE, **base),
+            training)).iteration_time
+        selective = simulate(build(
+            tiny_model,
+            ParallelismConfig(recompute=RecomputeMode.SELECTIVE, **base),
+            training)).iteration_time
+        assert none < selective
+
+
+class TestMultiNode:
+    def test_internode_pipeline_hops_slower(self, small_model, training):
+        """A pipeline crossing node boundaries pays InfiniBand latency."""
+        plan = ParallelismConfig(tensor=8, data=1, pipeline=2)
+        intra = simulate(build(small_model,
+                               ParallelismConfig(tensor=2, data=1, pipeline=2),
+                               training)).iteration_time
+        inter_graph = build(small_model, plan, training,
+                            system=multi_node(2))
+        # Just verifying the build succeeds and produces inter-node sends.
+        sends = [n for n in inter_graph.nodes if n.kind == KIND_PP_COMM]
+        assert sends and intra > 0

@@ -1,0 +1,89 @@
+"""Unit tests for the operator taxonomy."""
+
+import pytest
+
+from repro.config.parallelism import RecomputeMode
+from repro.errors import ConfigError
+from repro.graph.operators import (CommKind, CommOperator, CommScope,
+                                   CompOperator, OpKind, data_allreduce,
+                                   pipeline_send_recv, tensor_allreduce)
+from repro.hardware.interconnect import LinkType
+
+
+class TestCompOperator:
+    def _mha(self, **overrides):
+        base = dict(kind=OpKind.FWD_MHA, micro_batch=2, seq_length=128,
+                    hidden_size=512, num_heads=8, tensor_parallel=2)
+        base.update(overrides)
+        return CompOperator(**base)
+
+    def test_signature_equality_for_identical_shapes(self):
+        assert self._mha().signature == self._mha().signature
+
+    def test_signature_differs_by_tensor_degree(self):
+        assert self._mha().signature != self._mha(tensor_parallel=4).signature
+
+    def test_signature_differs_by_recompute(self):
+        bwd = dict(kind=OpKind.BWD_MHA, micro_batch=1, seq_length=8,
+                   hidden_size=64, num_heads=2, tensor_parallel=1)
+        a = CompOperator(recompute=RecomputeMode.NONE, **bwd)
+        b = CompOperator(recompute=RecomputeMode.FULL, **bwd)
+        assert a.signature != b.signature
+
+    def test_tokens(self):
+        assert self._mha().tokens == 256
+
+    def test_direction_flags(self):
+        assert self._mha().is_forward
+        assert not self._mha().is_backward
+        bwd = self._mha(kind=OpKind.BWD_MHA)
+        assert bwd.is_backward and not bwd.is_forward
+
+    def test_weight_update_requires_params(self):
+        with pytest.raises(ConfigError):
+            CompOperator(kind=OpKind.WEIGHT_UPDATE)
+        op = CompOperator(kind=OpKind.WEIGHT_UPDATE, num_params=100)
+        assert op.num_params == 100
+
+    def test_embedding_requires_vocab(self):
+        with pytest.raises(ConfigError):
+            CompOperator(kind=OpKind.FWD_EMBEDDING, micro_batch=1,
+                         seq_length=8, hidden_size=64, num_heads=2,
+                         tensor_parallel=1)
+
+    def test_heads_must_divide_across_tensor_ranks(self):
+        with pytest.raises(ConfigError):
+            self._mha(num_heads=8, tensor_parallel=3)
+
+
+class TestCommOperator:
+    def test_tensor_allreduce_payload_is_bsh(self):
+        comm = tensor_allreduce(2, 128, 512, 4, LinkType.INTRA_NODE)
+        assert comm.size_bytes == pytest.approx(2 * 2 * 128 * 512)
+        assert comm.group_size == 4
+        assert comm.scope is CommScope.TENSOR
+
+    def test_data_allreduce(self):
+        comm = data_allreduce(1 << 20, 8, LinkType.INTER_NODE)
+        assert comm.kind is CommKind.ALL_REDUCE
+        assert comm.scope is CommScope.DATA
+
+    def test_send_recv_group_is_two(self):
+        comm = pipeline_send_recv(1, 128, 512, LinkType.INTER_NODE)
+        assert comm.group_size == 2
+        with pytest.raises(ConfigError):
+            CommOperator(kind=CommKind.SEND_RECV, scope=CommScope.PIPELINE,
+                         size_bytes=8, group_size=3,
+                         link=LinkType.INTER_NODE)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigError):
+            CommOperator(kind=CommKind.ALL_REDUCE, scope=CommScope.DATA,
+                         size_bytes=-1, group_size=2,
+                         link=LinkType.INTRA_NODE)
+
+    def test_signature_is_hashable_and_distinct(self):
+        a = tensor_allreduce(1, 128, 512, 4, LinkType.INTRA_NODE)
+        b = tensor_allreduce(1, 128, 512, 8, LinkType.INTRA_NODE)
+        assert hash(a.signature) != hash(b.signature) or \
+            a.signature != b.signature

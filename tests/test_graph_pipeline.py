@@ -1,0 +1,102 @@
+"""Unit tests for GPipe/1F1B schedule generation (Figure 7)."""
+
+import pytest
+
+from repro.config.parallelism import PipelineSchedule
+from repro.errors import ConfigError
+from repro.graph.pipeline import (BACKWARD, FORWARD, gpipe_order,
+                                  last_backward_micro_batch,
+                                  max_in_flight_micro_batches,
+                                  one_f_one_b_order,
+                                  pipeline_bubble_fraction, schedule_order)
+
+
+def phases(order):
+    return [(chunk.phase, chunk.micro_batch) for chunk in order]
+
+
+class TestGPipe:
+    def test_all_forwards_then_all_backwards(self):
+        order = gpipe_order(4)
+        assert phases(order) == [("F", 0), ("F", 1), ("F", 2), ("F", 3),
+                                 ("B", 3), ("B", 2), ("B", 1), ("B", 0)]
+
+    def test_every_micro_batch_once_per_phase(self):
+        order = gpipe_order(7)
+        fwd = [c.micro_batch for c in order if c.phase == FORWARD]
+        bwd = [c.micro_batch for c in order if c.phase == BACKWARD]
+        assert sorted(fwd) == list(range(7))
+        assert sorted(bwd) == list(range(7))
+
+    def test_rejects_zero_micro_batches(self):
+        with pytest.raises(ConfigError):
+            gpipe_order(0)
+
+
+class TestOneFOneB:
+    def test_figure_7b_stage0(self):
+        """Stage 0 of a 2-deep pipeline with 4 micro-batches:
+        F1, F2 B1, F3 B2, F4 B3, B4 (Figure 7b, 1-indexed)."""
+        order = one_f_one_b_order(stage=0, num_stages=2, num_micro_batches=4)
+        assert phases(order) == [("F", 0), ("F", 1), ("B", 0), ("F", 2),
+                                 ("B", 1), ("F", 3), ("B", 2), ("B", 3)]
+
+    def test_last_stage_strictly_alternates(self):
+        order = one_f_one_b_order(stage=1, num_stages=2, num_micro_batches=4)
+        assert phases(order) == [("F", 0), ("B", 0), ("F", 1), ("B", 1),
+                                 ("F", 2), ("B", 2), ("F", 3), ("B", 3)]
+
+    def test_warmup_shrinks_with_stage(self):
+        for stage in range(4):
+            order = one_f_one_b_order(stage, 4, 8)
+            warmup = 0
+            for chunk in order:
+                if chunk.phase == BACKWARD:
+                    break
+                warmup += 1
+            assert warmup == 4 - stage  # (p - 1 - stage) + the paired F
+
+    def test_fewer_micro_batches_than_warmup(self):
+        order = one_f_one_b_order(stage=0, num_stages=8, num_micro_batches=2)
+        assert phases(order) == [("F", 0), ("F", 1), ("B", 0), ("B", 1)]
+
+    def test_backward_order_is_fifo(self):
+        order = one_f_one_b_order(stage=0, num_stages=3, num_micro_batches=6)
+        bwd = [c.micro_batch for c in order if c.phase == BACKWARD]
+        assert bwd == sorted(bwd)
+
+    def test_rejects_bad_stage(self):
+        with pytest.raises(ConfigError):
+            one_f_one_b_order(stage=3, num_stages=3, num_micro_batches=2)
+
+
+class TestHelpers:
+    def test_schedule_order_dispatch(self):
+        assert phases(schedule_order(PipelineSchedule.GPIPE, 0, 2, 2)) == \
+            phases(gpipe_order(2))
+        assert phases(schedule_order(PipelineSchedule.ONE_F_ONE_B, 0, 2, 2)) \
+            == phases(one_f_one_b_order(0, 2, 2))
+
+    def test_last_backward_micro_batch(self):
+        assert last_backward_micro_batch(PipelineSchedule.GPIPE, 6) == 0
+        assert last_backward_micro_batch(PipelineSchedule.ONE_F_ONE_B, 6) == 5
+
+    def test_in_flight_gpipe_holds_everything(self):
+        assert max_in_flight_micro_batches(PipelineSchedule.GPIPE, 0, 4,
+                                           16) == 16
+
+    def test_in_flight_1f1b_caps_at_depth(self):
+        assert max_in_flight_micro_batches(PipelineSchedule.ONE_F_ONE_B, 0, 4,
+                                           16) == 4
+        assert max_in_flight_micro_batches(PipelineSchedule.ONE_F_ONE_B, 3, 4,
+                                           16) == 1
+
+    def test_bubble_fraction(self):
+        assert pipeline_bubble_fraction(1, 8) == 0.0
+        assert pipeline_bubble_fraction(4, 12) == pytest.approx(3 / 15)
+
+    def test_bubble_fraction_rejects_bad_input(self):
+        with pytest.raises(ConfigError):
+            pipeline_bubble_fraction(0, 4)
+        with pytest.raises(ConfigError):
+            pipeline_bubble_fraction(2, 0)

@@ -1,0 +1,107 @@
+"""Unit tests for the execution-graph structure and assembler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph.structure import (COMM_STREAM, COMPUTE_STREAM,
+                                   GraphAssembler, KIND_COMPUTE,
+                                   KIND_DP_COMM)
+
+
+class TestAssembler:
+    def test_chain_serialises_same_stream(self):
+        asm = GraphAssembler()
+        first = asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "a")
+        second = asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "b")
+        graph = asm.finish(num_devices=1)
+        assert second in graph.nodes[first].children
+        assert graph.nodes[second].num_parents == 1
+
+    def test_streams_are_independent(self):
+        asm = GraphAssembler()
+        asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "a")
+        comm = asm.add(0, COMM_STREAM, 1.0, KIND_DP_COMM, "c")
+        graph = asm.finish(num_devices=1)
+        assert graph.nodes[comm].num_parents == 0
+
+    def test_chain_false_does_not_extend_chain(self):
+        asm = GraphAssembler()
+        first = asm.add(0, COMM_STREAM, 1.0, KIND_DP_COMM, "a")
+        asm.add(0, COMM_STREAM, 1.0, KIND_DP_COMM, "send", chain=False)
+        third = asm.add(0, COMM_STREAM, 1.0, KIND_DP_COMM, "b")
+        graph = asm.finish(num_devices=1)
+        assert third in graph.nodes[first].children
+
+    def test_explicit_deps(self):
+        asm = GraphAssembler()
+        a = asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "a")
+        b = asm.add(1, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "b", deps=(a,))
+        graph = asm.finish(num_devices=2)
+        assert b in graph.nodes[a].children
+
+    def test_negative_duration_rejected(self):
+        asm = GraphAssembler()
+        with pytest.raises(SimulationError):
+            asm.add(0, COMPUTE_STREAM, -1.0, KIND_COMPUTE, "bad")
+
+    def test_self_dependency_rejected(self):
+        asm = GraphAssembler()
+        a = asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "a")
+        with pytest.raises(SimulationError):
+            asm.link(a, a)
+
+    def test_chain_tail_tracking(self):
+        asm = GraphAssembler()
+        assert asm.chain_tail(0, COMPUTE_STREAM) is None
+        a = asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "a")
+        assert asm.chain_tail(0, COMPUTE_STREAM) == a
+
+
+class TestExecutionGraph:
+    def _diamond(self):
+        asm = GraphAssembler()
+        a = asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "a", chain=False)
+        b = asm.add(0, COMM_STREAM, 2.0, KIND_DP_COMM, "b", deps=(a,),
+                    chain=False)
+        c = asm.add(1, COMPUTE_STREAM, 3.0, KIND_COMPUTE, "c", deps=(a,),
+                    chain=False)
+        asm.add(1, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "d", deps=(b, c),
+                chain=False)
+        return asm.finish(num_devices=2)
+
+    def test_roots(self):
+        graph = self._diamond()
+        assert graph.roots() == [0]
+
+    def test_edge_count(self):
+        assert self._diamond().num_edges == 4
+
+    def test_duration_by_kind(self):
+        totals = self._diamond().total_duration_by_kind()
+        assert totals[KIND_COMPUTE] == pytest.approx(5.0)
+        assert totals[KIND_DP_COMM] == pytest.approx(2.0)
+
+    def test_device_durations(self):
+        per_device = self._diamond().device_durations()
+        assert per_device[0] == pytest.approx(3.0)
+        assert per_device[1] == pytest.approx(4.0)
+
+    def test_validate_acyclic_passes(self):
+        self._diamond().validate_acyclic()
+
+    def test_validate_acyclic_detects_cycle(self):
+        asm = GraphAssembler()
+        a = asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "a", chain=False)
+        b = asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "b", deps=(a,),
+                    chain=False)
+        asm.link(b, a)  # cycle
+        graph = asm.finish(num_devices=1)
+        with pytest.raises(SimulationError, match="cycle"):
+            graph.validate_acyclic()
+
+    def test_networkx_export(self):
+        nx_graph = self._diamond().to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4
+        import networkx as nx
+        assert nx.is_directed_acyclic_graph(nx_graph)

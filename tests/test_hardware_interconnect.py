@@ -1,0 +1,95 @@
+"""Unit tests for link models and the Equation-1 All-Reduce formula."""
+
+import pytest
+
+from repro.config.system import single_node, multi_node
+from repro.errors import ConfigError
+from repro.hardware.interconnect import (LinkType, RingParameters,
+                                         infiniband_ring, log2_ceil,
+                                         nvlink_ring, p2p_time, ring_hops)
+
+
+class TestRingParameters:
+    def test_equation_1_shape(self):
+        """t = S/B * 2(n-1)/n: doubling n from 2 raises transfer toward
+        2S/B asymptote."""
+        ring = RingParameters(bus_bandwidth=100e9, base_latency=0.0,
+                              hop_latency=0.0)
+        size = 1 << 30
+        t2 = ring.allreduce_time(size, 2)
+        t8 = ring.allreduce_time(size, 8)
+        assert t2 == pytest.approx(size / 100e9 * 1.0)
+        assert t8 == pytest.approx(size / 100e9 * 1.75)
+
+    def test_single_worker_is_free(self):
+        ring = RingParameters(100e9, 1e-6, 1e-6)
+        assert ring.allreduce_time(1 << 20, 1) == 0.0
+
+    def test_zero_bytes_is_free(self):
+        ring = RingParameters(100e9, 1e-6, 1e-6)
+        assert ring.allreduce_time(0, 8) == 0.0
+
+    def test_latency_dominates_small_messages(self):
+        ring = RingParameters(100e9, 10e-6, 1e-6)
+        tiny = ring.allreduce_time(1024, 8)
+        assert tiny > 10e-6
+
+    def test_allgather_half_of_allreduce_transfer(self):
+        ring = RingParameters(100e9, 0.0, 0.0)
+        size = 1 << 30
+        assert ring.allgather_time(size, 8) == pytest.approx(
+            ring.allreduce_time(size, 8) / 2)
+
+    def test_reduce_scatter_equals_allgather(self):
+        ring = RingParameters(100e9, 2e-6, 1e-6)
+        assert ring.reduce_scatter_time(1 << 20, 4) == ring.allgather_time(
+            1 << 20, 4)
+
+    def test_rejects_bad_group(self):
+        ring = RingParameters(100e9, 0.0, 0.0)
+        with pytest.raises(ConfigError):
+            ring.allreduce_time(1024, 0)
+
+
+class TestLinkFactories:
+    def test_nvlink_8gpu_busbw_in_published_range(self):
+        """A100/NVSwitch all-reduce busbw is ~230 GB/s in nccl-tests."""
+        ring = nvlink_ring(single_node(), 8)
+        assert 200e9 < ring.bus_bandwidth < 260e9
+
+    def test_nvlink_smaller_rings_more_efficient(self):
+        sys = single_node()
+        assert nvlink_ring(sys, 2).bus_bandwidth > nvlink_ring(
+            sys, 8).bus_bandwidth
+
+    def test_infiniband_uses_alpha(self):
+        base = multi_node(2)
+        ring = infiniband_ring(base)
+        assert ring.bus_bandwidth == pytest.approx(100e9)  # 800 Gbps
+
+    def test_p2p_internode_uses_single_hca(self):
+        system = multi_node(2)
+        inter = p2p_time(system, 1 << 30, LinkType.INTER_NODE)
+        intra = p2p_time(system, 1 << 30, LinkType.INTRA_NODE)
+        assert inter > intra  # one HCA << NVLink
+
+    def test_p2p_zero_bytes(self):
+        assert p2p_time(single_node(), 0, LinkType.INTRA_NODE) == 0.0
+
+    def test_p2p_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            p2p_time(single_node(), -1, LinkType.INTRA_NODE)
+
+
+class TestHelpers:
+    def test_ring_hops(self):
+        assert ring_hops(8) == 14
+        assert ring_hops(1) == 0
+
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(5) == 3
+
+    def test_log2_ceil_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            log2_ceil(0)

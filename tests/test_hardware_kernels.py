@@ -1,0 +1,132 @@
+"""Unit tests for the analytical GPU kernel-timing model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.gpu import A100_80GB, H100_80GB
+from repro.hardware.kernels import DeviceModel, KernelKind
+
+
+@pytest.fixture
+def model() -> DeviceModel:
+    return DeviceModel(A100_80GB)
+
+
+class TestGemm:
+    def test_large_gemm_near_sustained_peak(self, model):
+        """A transformer-sized GEMM should achieve close to the
+        calibrated efficiency ceiling."""
+        kernel = model.gemm(2048, 8192, 8192)
+        achieved = kernel.flops / kernel.duration
+        ceiling = A100_80GB.peak_fp16_flops * model.max_gemm_efficiency
+        assert 0.85 * ceiling < achieved <= ceiling
+
+    def test_small_gemm_much_less_efficient(self, model):
+        big = model.gemm(4096, 4096, 4096)
+        small = model.gemm(64, 64, 64)
+        eff_big = big.flops / big.duration
+        eff_small = small.flops / small.duration
+        assert eff_small < 0.2 * eff_big
+
+    def test_duration_monotone_in_k(self, model):
+        times = [model.gemm(1024, 1024, k).duration
+                 for k in (256, 512, 1024, 2048, 4096)]
+        assert times == sorted(times)
+
+    def test_batched_gemm_kind(self, model):
+        kernel = model.gemm(128, 128, 64, batch=16)
+        assert kernel.kind is KernelKind.BATCHED_GEMM
+
+    def test_batched_gemm_scales_with_batch(self, model):
+        one = model.gemm(512, 512, 512, batch=8)
+        two = model.gemm(512, 512, 512, batch=16)
+        assert two.duration > one.duration
+
+    def test_memory_bound_gemm_hits_bandwidth(self, model):
+        """A skinny GEMM (tiny k) is bandwidth-limited."""
+        kernel = model.gemm(8192, 8192, 8)
+        bandwidth = kernel.bytes_accessed / kernel.duration
+        assert bandwidth > 0.9 * model.effective_bandwidth
+
+    def test_kernel_name_is_cublas_flavoured(self, model):
+        kernel = model.gemm(2048, 2048, 2048, name_hint="qkv")
+        assert kernel.name.startswith("ampere_fp16_s16816gemm")
+        assert "qkv" in kernel.name
+
+    def test_rejects_non_positive_dims(self, model):
+        with pytest.raises(ConfigError):
+            model.gemm(0, 128, 128)
+
+    def test_wave_quantization_visible(self, model):
+        """Exact wave multiples double cleanly: 216 tiles = 2 x 108."""
+        one_wave = model.gemm(128, 128 * 108, 4096)
+        two_waves = model.gemm(128, 128 * 216, 4096)
+        assert two_waves.duration == pytest.approx(2 * one_wave.duration,
+                                                   rel=0.01)
+
+    def test_tile_selector_dodges_partial_waves(self, model):
+        """One extra tile row (109 x 128-wide) does NOT double the time:
+        the cuBLAS-style selector falls back to smaller tiles."""
+        one_wave = model.gemm(128, 128 * 108, 4096)
+        ragged = model.gemm(128, 128 * 109, 4096)
+        assert ragged.duration < 1.35 * one_wave.duration
+
+    def test_faster_gpu_is_faster(self):
+        a100 = DeviceModel(A100_80GB).gemm(4096, 4096, 4096)
+        h100 = DeviceModel(H100_80GB).gemm(4096, 4096, 4096)
+        assert h100.duration < a100.duration
+
+
+class TestMemoryBoundKernels:
+    def test_elementwise_bandwidth_bound(self, model):
+        kernel = model.elementwise(1 << 24, name="gelu")
+        assert kernel.bytes_accessed / kernel.duration <= (
+            model.effective_bandwidth * 1.001)
+
+    def test_elementwise_extra_reads_cost_more(self, model):
+        base = model.elementwise(1 << 20, name="x", reads=1)
+        residual = model.elementwise(1 << 20, name="x", reads=2)
+        assert residual.duration > base.duration
+
+    def test_reduction_passes_scale_duration(self, model):
+        two = model.reduction(4096, 4096, name="ln", passes=2.0)
+        three = model.reduction(4096, 4096, name="sm", passes=3.0)
+        assert three.duration > two.duration
+
+    def test_embedding_lookup(self, model):
+        kernel = model.embedding_lookup(4096, 1024)
+        assert kernel.kind is KernelKind.EMBEDDING
+        assert kernel.bytes_accessed == pytest.approx(2 * 4096 * 1024 * 2)
+
+    def test_optimizer_update_traffic(self, model):
+        kernel = model.optimizer_update(1_000_000)
+        assert kernel.bytes_accessed == pytest.approx(28e6)
+
+    def test_rejects_non_positive_elements(self, model):
+        with pytest.raises(ConfigError):
+            model.elementwise(0, name="zero")
+        with pytest.raises(ConfigError):
+            model.reduction(0, 8, name="zero")
+        with pytest.raises(ConfigError):
+            model.optimizer_update(0)
+
+
+class TestDeterminism:
+    def test_same_shape_same_duration(self, model):
+        first = model.gemm(1234, 567, 890)
+        second = model.gemm(1234, 567, 890)
+        assert first.duration == second.duration
+
+    def test_scaled_copy(self, model):
+        kernel = model.gemm(512, 512, 512)
+        slower = kernel.scaled(1.3)
+        assert slower.duration == pytest.approx(1.3 * kernel.duration)
+        assert slower.flops == kernel.flops
+
+
+class TestConstruction:
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            DeviceModel(A100_80GB, max_gemm_efficiency=0.0)
+        with pytest.raises(ConfigError):
+            DeviceModel(A100_80GB, sustained_memory_fraction=1.5)

@@ -1,0 +1,134 @@
+"""Unit tests for the per-GPU memory model and feasibility filter."""
+
+import pytest
+
+from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
+                                      RecomputeMode, TrainingConfig)
+from repro.config.presets import MT_NLG_530B, MT_NLG_TRAINING
+from repro.config.system import single_node
+from repro.errors import InfeasibleConfigError
+from repro.memory.footprint import (activation_bytes_per_layer, check_memory,
+                                    fits_in_memory, memory_footprint,
+                                    stage_zero_params,
+                                    suggest_schedule_for_memory)
+
+
+class TestModelStates:
+    def test_weights_are_fp16(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=1)
+        footprint = memory_footprint(tiny_model, plan, training)
+        assert footprint.weights == pytest.approx(
+            2.0 * stage_zero_params(tiny_model, plan))
+
+    def test_zero1_divides_optimizer_by_d(self, tiny_model, training):
+        base = ParallelismConfig(tensor=1, data=1, pipeline=1)
+        sharded = ParallelismConfig(tensor=1, data=4, pipeline=1)
+        full = memory_footprint(tiny_model, base, training,
+                                zero1_sharding=True)
+        split = memory_footprint(tiny_model, sharded, training,
+                                 zero1_sharding=True)
+        assert split.optimizer_states == pytest.approx(
+            full.optimizer_states / 4)
+
+    def test_without_zero1_optimizer_unsharded(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=1, data=4, pipeline=1)
+        footprint = memory_footprint(tiny_model, plan, training,
+                                     zero1_sharding=False)
+        assert footprint.optimizer_states == pytest.approx(
+            12.0 * stage_zero_params(tiny_model, plan))
+
+    def test_tensor_parallel_shrinks_states(self, tiny_model, training):
+        t1 = memory_footprint(tiny_model,
+                              ParallelismConfig(tensor=1, data=1, pipeline=1),
+                              training)
+        t4 = memory_footprint(tiny_model,
+                              ParallelismConfig(tensor=4, data=1, pipeline=1),
+                              training)
+        assert t4.model_states < t1.model_states / 3
+
+    def test_pipeline_shrinks_states(self, tiny_model, training):
+        p1 = memory_footprint(tiny_model,
+                              ParallelismConfig(tensor=1, data=1, pipeline=1),
+                              training)
+        p4 = memory_footprint(tiny_model,
+                              ParallelismConfig(tensor=1, data=1, pipeline=4),
+                              training)
+        assert p4.weights < p1.weights
+
+
+class TestActivations:
+    def _plan(self, recompute, m=1, schedule=PipelineSchedule.ONE_F_ONE_B):
+        return ParallelismConfig(tensor=1, data=1, pipeline=1,
+                                 micro_batch_size=m, recompute=recompute,
+                                 schedule=schedule)
+
+    def test_recompute_ordering(self, tiny_model):
+        none = activation_bytes_per_layer(tiny_model,
+                                          self._plan(RecomputeMode.NONE))
+        selective = activation_bytes_per_layer(
+            tiny_model, self._plan(RecomputeMode.SELECTIVE))
+        full = activation_bytes_per_layer(tiny_model,
+                                          self._plan(RecomputeMode.FULL))
+        assert full < selective < none
+
+    def test_full_recompute_stores_layer_input_only(self, tiny_model):
+        plan = self._plan(RecomputeMode.FULL)
+        expected = 2.0 * tiny_model.seq_length * tiny_model.hidden_size
+        assert activation_bytes_per_layer(tiny_model, plan) == expected
+
+    def test_micro_batch_scales_activations(self, tiny_model):
+        one = activation_bytes_per_layer(tiny_model,
+                                         self._plan(RecomputeMode.SELECTIVE))
+        four = activation_bytes_per_layer(
+            tiny_model, self._plan(RecomputeMode.SELECTIVE, m=4))
+        assert four == pytest.approx(4 * one)
+
+    def test_gpipe_holds_all_micro_batches(self, tiny_model, training):
+        gpipe = memory_footprint(
+            tiny_model, ParallelismConfig(
+                tensor=1, data=1, pipeline=2, micro_batch_size=1,
+                schedule=PipelineSchedule.GPIPE), training)
+        one_f = memory_footprint(
+            tiny_model, ParallelismConfig(
+                tensor=1, data=1, pipeline=2, micro_batch_size=1,
+                schedule=PipelineSchedule.ONE_F_ONE_B), training)
+        assert gpipe.activations > one_f.activations
+
+
+class TestFeasibility:
+    def test_tiny_model_fits(self, tiny_model, training, node_system):
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=1)
+        assert fits_in_memory(tiny_model, plan, training, node_system)
+        footprint = check_memory(tiny_model, plan, training, node_system)
+        assert footprint.total_gib < 80
+
+    def test_mtnlg_needs_model_parallelism(self, node_system):
+        plan = ParallelismConfig(tensor=8, data=1, pipeline=1)
+        assert not fits_in_memory(MT_NLG_530B, plan, MT_NLG_TRAINING,
+                                  node_system)
+
+    def test_mtnlg_baseline_plan_fits(self):
+        """The (8, 8, 35) MT-NLG plan must be feasible (Table I)."""
+        from repro.config.presets import MT_NLG_BASELINE_PLANS
+        from repro.config.system import multi_node
+        system = multi_node(280)
+        assert fits_in_memory(MT_NLG_530B, MT_NLG_BASELINE_PLANS[0],
+                              MT_NLG_TRAINING, system)
+
+    def test_mtnlg_vtrain_plans_fit(self):
+        from repro.config.presets import MT_NLG_VTRAIN_PLANS
+        from repro.config.system import multi_node
+        for plan in MT_NLG_VTRAIN_PLANS:
+            system = multi_node(plan.total_gpus // 8)
+            assert fits_in_memory(MT_NLG_530B, plan, MT_NLG_TRAINING, system)
+
+    def test_check_memory_raises_with_reason(self, node_system):
+        plan = ParallelismConfig(tensor=8, data=1, pipeline=1)
+        with pytest.raises(InfeasibleConfigError, match="GiB"):
+            check_memory(MT_NLG_530B, plan, MT_NLG_TRAINING, node_system)
+
+    def test_suggest_schedule(self, tiny_model, training, node_system):
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=2)
+        schedule = suggest_schedule_for_memory(tiny_model, plan, training,
+                                               node_system)
+        assert schedule is PipelineSchedule.GPIPE  # tiny model fits either

@@ -1,0 +1,91 @@
+"""Tests for the ZeRO-stage memory extension."""
+
+import pytest
+
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.errors import InfeasibleConfigError
+from repro.memory.footprint import memory_footprint, stage_zero_params
+
+
+@pytest.fixture
+def plan():
+    return ParallelismConfig(tensor=1, data=8, pipeline=1)
+
+
+@pytest.fixture
+def batch():
+    return TrainingConfig(global_batch_size=16)
+
+
+class TestZeroStages:
+    def test_stage0_nothing_sharded(self, tiny_model, plan, batch):
+        fp = memory_footprint(tiny_model, plan, batch, zero_stage=0)
+        params = stage_zero_params(tiny_model, plan)
+        assert fp.weights == pytest.approx(2.0 * params)
+        assert fp.gradients == pytest.approx(2.0 * params)
+        assert fp.optimizer_states == pytest.approx(12.0 * params)
+
+    def test_stage1_shards_optimizer_only(self, tiny_model, plan, batch):
+        fp = memory_footprint(tiny_model, plan, batch, zero_stage=1)
+        params = stage_zero_params(tiny_model, plan)
+        assert fp.optimizer_states == pytest.approx(12.0 * params / 8)
+        assert fp.gradients == pytest.approx(2.0 * params)
+
+    def test_stage2_also_shards_gradients(self, tiny_model, plan, batch):
+        fp = memory_footprint(tiny_model, plan, batch, zero_stage=2)
+        params = stage_zero_params(tiny_model, plan)
+        assert fp.gradients == pytest.approx(2.0 * params / 8)
+        assert fp.weights == pytest.approx(2.0 * params)
+
+    def test_stage3_also_shards_weights(self, tiny_model, plan, batch):
+        fp = memory_footprint(tiny_model, plan, batch, zero_stage=3)
+        params = stage_zero_params(tiny_model, plan)
+        assert fp.weights == pytest.approx(2.0 * params / 8)
+
+    def test_stages_are_monotone(self, tiny_model, plan, batch):
+        totals = [memory_footprint(tiny_model, plan, batch,
+                                   zero_stage=stage).total
+                  for stage in (0, 1, 2, 3)]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_activations_unaffected(self, tiny_model, plan, batch):
+        fp0 = memory_footprint(tiny_model, plan, batch, zero_stage=0)
+        fp3 = memory_footprint(tiny_model, plan, batch, zero_stage=3)
+        assert fp0.activations == fp3.activations
+
+    def test_legacy_bool_maps_to_stage1(self, tiny_model, plan, batch):
+        legacy = memory_footprint(tiny_model, plan, batch,
+                                  zero1_sharding=True)
+        explicit = memory_footprint(tiny_model, plan, batch, zero_stage=1)
+        assert legacy.total == explicit.total
+        legacy_off = memory_footprint(tiny_model, plan, batch,
+                                      zero1_sharding=False)
+        explicit0 = memory_footprint(tiny_model, plan, batch, zero_stage=0)
+        assert legacy_off.total == explicit0.total
+
+    def test_sharding_pointless_without_data_parallel(self, tiny_model,
+                                                      batch):
+        solo = ParallelismConfig(tensor=1, data=1, pipeline=1)
+        training = TrainingConfig(global_batch_size=16)
+        fp0 = memory_footprint(tiny_model, solo, training, zero_stage=0)
+        fp3 = memory_footprint(tiny_model, solo, training, zero_stage=3)
+        assert fp0.total == fp3.total
+
+    def test_unknown_stage_rejected(self, tiny_model, plan, batch):
+        with pytest.raises(InfeasibleConfigError):
+            memory_footprint(tiny_model, plan, batch, zero_stage=4)
+
+    def test_zero3_enables_otherwise_infeasible_model(self, batch):
+        """A model that overflows at stage 1 can fit at stage 3 — the
+        ZeRO paper's motivating scenario."""
+        from repro.config.model import ModelConfig
+        from repro.config.system import single_node
+        big = ModelConfig(hidden_size=12288, num_layers=16, seq_length=2048,
+                          num_heads=96, name="zero-demo-29B")
+        plan = ParallelismConfig(tensor=1, data=8, pipeline=1)
+        training = TrainingConfig(global_batch_size=8)
+        budget = single_node().gpu.memory_bytes * 0.96
+        stage1 = memory_footprint(big, plan, training, zero_stage=1)
+        stage3 = memory_footprint(big, plan, training, zero_stage=3)
+        assert stage1.total > budget
+        assert stage3.total < budget

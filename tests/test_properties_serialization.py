@@ -1,0 +1,158 @@
+"""Property-based tests: serialization round-trips and cluster invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.throughput import ThroughputProfile
+from repro.config.description import InputDescription
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
+                                      RecomputeMode, TrainingConfig)
+from repro.config.system import SystemConfig
+from repro.hardware.gpu import KNOWN_GPUS
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def descriptions(draw):
+    heads = draw(st.sampled_from([4, 8, 16]))
+    hidden = heads * 64 * draw(st.integers(min_value=1, max_value=4))
+    layers = draw(st.sampled_from([2, 4, 8, 12]))
+    model = ModelConfig(hidden_size=hidden, num_layers=layers,
+                        seq_length=draw(st.sampled_from([64, 128, 1024])),
+                        num_heads=heads,
+                        vocab_size=draw(st.sampled_from([8192, 32000,
+                                                         51200])),
+                        name=draw(st.sampled_from(["", "m", "proto-llm"])))
+    tensor = draw(st.sampled_from([t for t in (1, 2, 4)
+                                   if heads % t == 0]))
+    pipeline = draw(st.sampled_from([p for p in (1, 2, 4)
+                                     if layers % p == 0]))
+    data = draw(st.sampled_from([1, 2, 4]))
+    per_replica = draw(st.sampled_from([2, 4, 8]))
+    plan = ParallelismConfig(
+        tensor=tensor, data=data, pipeline=pipeline,
+        micro_batch_size=draw(st.sampled_from(
+            [m for m in (1, 2) if per_replica % m == 0])),
+        schedule=draw(st.sampled_from(list(PipelineSchedule))),
+        gradient_bucketing=draw(st.booleans()),
+        num_gradient_buckets=draw(st.integers(min_value=1, max_value=8)),
+        recompute=draw(st.sampled_from(list(RecomputeMode))))
+    gpus_needed = plan.total_gpus
+    gpus_per_node = 8
+    nodes = max(1, -(-gpus_needed // gpus_per_node))
+    system = SystemConfig(
+        num_gpus=nodes * gpus_per_node, gpus_per_node=gpus_per_node,
+        gpu=draw(st.sampled_from(sorted(KNOWN_GPUS.values(),
+                                        key=lambda g: g.name))),
+        bandwidth_effectiveness=draw(st.sampled_from([0.5, 0.8, 1.0])))
+    training = TrainingConfig(
+        global_batch_size=data * per_replica,
+        total_tokens=draw(st.sampled_from([0, 10 ** 9, 10 ** 12])))
+    return InputDescription(model=model, system=system, plan=plan,
+                            training=training)
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(descriptions())
+def test_description_dict_round_trip(description):
+    rebuilt = InputDescription.from_dict(description.to_dict())
+    assert rebuilt.model == description.model
+    assert rebuilt.plan == description.plan
+    assert rebuilt.training == description.training
+    assert rebuilt.system.num_gpus == description.system.num_gpus
+    assert rebuilt.system.gpu == description.system.gpu
+    assert (rebuilt.system.bandwidth_effectiveness
+            == description.system.bandwidth_effectiveness)
+
+
+@settings(max_examples=40, deadline=None)
+@given(descriptions())
+def test_description_json_round_trip(description):
+    rebuilt = InputDescription.from_json(description.to_json())
+    assert rebuilt == InputDescription.from_dict(description.to_dict())
+
+
+@settings(max_examples=40, deadline=None)
+@given(descriptions())
+def test_json_is_stable(description):
+    """Serialising twice yields identical text (no ordering drift)."""
+    assert description.to_json() == description.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Throughput-profile invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def profiles(draw):
+    counts = draw(st.lists(st.sampled_from([8, 16, 32, 64, 128, 256, 512]),
+                           min_size=1, max_size=6, unique=True))
+    counts.sort()
+    rates = []
+    rate = draw(st.floats(min_value=1e-4, max_value=1.0))
+    for _ in counts:
+        rates.append(rate)
+        rate *= draw(st.floats(min_value=1.05, max_value=2.0))
+    return ThroughputProfile(model_name="m",
+                             table=tuple(zip(counts, rates)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(profiles(), st.integers(min_value=0, max_value=1024))
+def test_profile_rate_monotone(profile, gpus):
+    """rate() is monotone non-decreasing in the allocation size."""
+    assert profile.rate(gpus) <= profile.rate(gpus + 8) + 1e-15
+
+
+@settings(max_examples=60, deadline=None)
+@given(profiles())
+def test_profile_next_step_ladder(profile):
+    """Walking next_step from the minimum visits every candidate."""
+    visited = [profile.min_gpus]
+    while True:
+        nxt = profile.next_step(visited[-1])
+        if nxt is None:
+            break
+        visited.append(nxt)
+    assert tuple(visited) == profile.candidates
+
+
+@settings(max_examples=60, deadline=None)
+@given(profiles())
+def test_profile_below_minimum_is_zero(profile):
+    assert profile.rate(profile.min_gpus - 1) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Trace invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=50),
+       st.integers(min_value=1, max_value=64))
+def test_trace_invariants(trace_id, num_jobs):
+    from repro.cluster.trace import synthesize_trace
+    from repro.config.presets import TABLE_III_MODELS
+    reference = {spec.model.name: ThroughputProfile(
+        model_name=spec.model.name, table=((8, 0.01), (128, 0.08)))
+        for spec in TABLE_III_MODELS}
+    jobs = synthesize_trace(trace_id, num_jobs, reference)
+    assert len(jobs) == num_jobs
+    assert [job.job_id for job in jobs] == list(range(num_jobs))
+    arrivals = [job.arrival_time for job in jobs]
+    assert arrivals == sorted(arrivals)
+    for job in jobs:
+        assert job.deadline is None or job.deadline > job.arrival_time
+        assert job.num_iterations > 0
+        assert job.model_name in reference

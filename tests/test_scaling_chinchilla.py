@@ -1,0 +1,101 @@
+"""Unit tests for the Chinchilla compute-optimal module (case study #3)."""
+
+import pytest
+
+from repro.config.system import multi_node
+from repro.errors import ConfigError
+from repro.hardware.gpu import A100_80GB
+from repro.scaling.chinchilla import (TOKENS_PER_PARAMETER,
+                                      best_plan_for_budget, candidate_model,
+                                      compute_budget_flops,
+                                      compute_optimal_search,
+                                      evaluate_candidate,
+                                      naive_chinchilla_point)
+
+
+class TestBudgetAndNaivePoint:
+    def test_paper_budget(self):
+        """3,360 A100s for 30 days at 100% utility: C = 2.72e24 FLOPs."""
+        budget = compute_budget_flops(3360, 30, A100_80GB.peak_fp16_flops)
+        assert budget == pytest.approx(2.72e24, rel=0.01)
+
+    def test_paper_naive_point(self):
+        """The naive Chinchilla point: ~145.6B parameters."""
+        budget = compute_budget_flops(3360, 30, A100_80GB.peak_fp16_flops)
+        params, tokens = naive_chinchilla_point(budget)
+        assert params == pytest.approx(145.61e9, rel=0.01)
+        assert tokens == pytest.approx(2912e9, rel=0.07)
+
+    def test_utilization_shrinks_budget(self):
+        full = compute_budget_flops(100, 1, 1e12)
+        half = compute_budget_flops(100, 1, 1e12, utilization=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            compute_budget_flops(0, 30, 1e12)
+        with pytest.raises(ConfigError):
+            compute_budget_flops(8, 30, 1e12, utilization=1.5)
+        with pytest.raises(ConfigError):
+            naive_chinchilla_point(0.0)
+
+
+class TestCandidates:
+    def test_table_iv_sizes(self):
+        """(12288, 80) is the 145.6B architecture; (10240, 60) is 76B."""
+        assert candidate_model(12288, 80).parameters_billion == \
+            pytest.approx(145.6, rel=0.01)
+        assert candidate_model(10240, 60).parameters_billion == \
+            pytest.approx(76.0, rel=0.01)
+
+    def test_tokens_at_20x_params(self):
+        system = multi_node(8)
+        candidate = evaluate_candidate(4096, 32, 64, system)
+        assert candidate.tokens == pytest.approx(
+            TOKENS_PER_PARAMETER * candidate.model.num_parameters())
+
+    def test_candidate_row_fields(self):
+        system = multi_node(8)
+        row = evaluate_candidate(4096, 32, 64, system).as_row()
+        assert set(row) == {"h", "L", "parameters_b", "tokens_b",
+                            "optimal_tdp", "estimated_days"}
+
+
+class TestBestPlan:
+    def test_plan_uses_exact_budget(self):
+        system = multi_node(8)
+        model = candidate_model(4096, 32)
+        plan, training, iteration_time, utilization = best_plan_for_budget(
+            model, 64, system)
+        assert plan.total_gpus == 64
+        assert iteration_time > 0
+        assert 0 < utilization < 1
+        assert training.global_batch_size % plan.data == 0
+
+
+class TestSearch:
+    def test_smaller_models_train_faster(self):
+        """Monotonicity across two Table IV rows."""
+        system = multi_node(8)
+        big = evaluate_candidate(4096, 32, 64, system)
+        small = evaluate_candidate(3072, 24, 64, system)
+        assert small.training_days < big.training_days
+
+    def test_search_picks_largest_within_budget(self):
+        system = multi_node(8)
+        architectures = ((4096, 32), (3072, 24), (2048, 16))
+        rows, best = compute_optimal_search(
+            64, budget_days=10_000.0, system=system,
+            architectures=architectures)
+        assert len(rows) == 3
+        assert best is not None
+        # Everything fits a huge budget -> pick the largest model.
+        assert best.model.hidden_size == 4096
+
+    def test_search_respects_budget(self):
+        system = multi_node(8)
+        architectures = ((4096, 32), (2048, 16))
+        rows, best = compute_optimal_search(64, budget_days=0.0001,
+                                            system=system,
+                                            architectures=architectures)
+        assert best is None  # nothing trains in 8.6 seconds

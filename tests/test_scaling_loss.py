@@ -1,0 +1,95 @@
+"""Unit tests for the Chinchilla parametric loss model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scaling.chinchilla import TOKENS_PER_PARAMETER
+from repro.scaling.loss import (IRREDUCIBLE, LossEstimate, estimate,
+                                expected_loss, optimal_split,
+                                undertraining_penalty)
+
+
+class TestExpectedLoss:
+    def test_loss_above_irreducible(self):
+        assert expected_loss(70e9, 1.4e12) > IRREDUCIBLE
+
+    def test_chinchilla_70b_value(self):
+        """Chinchilla (70B, 1.4T tokens) sits near ~1.93 under the
+        published parametric fit."""
+        loss = expected_loss(70e9, 1.4e12)
+        assert 1.85 < loss < 2.0
+
+    def test_more_params_lower_loss(self):
+        assert expected_loss(140e9, 1e12) < expected_loss(70e9, 1e12)
+
+    def test_more_tokens_lower_loss(self):
+        assert expected_loss(70e9, 2e12) < expected_loss(70e9, 1e12)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            expected_loss(0, 1e12)
+        with pytest.raises(ConfigError):
+            expected_loss(1e9, 0)
+
+
+class TestOptimalSplit:
+    def test_split_consumes_budget(self):
+        budget = 5.76e23  # Chinchilla's training compute
+        n, d = optimal_split(budget)
+        assert 6.0 * n * d == pytest.approx(budget, rel=1e-6)
+
+    def test_split_near_chinchilla_point(self):
+        """For Chinchilla's budget, the fit's optimum lies in the tens
+        of billions of parameters. (The published Approach-3 fit is
+        known to lean more data-heavy than the 20-tokens-per-parameter
+        rule of thumb, so D/N lands in the tens-to-low-hundreds.)"""
+        n, d = optimal_split(5.76e23)
+        assert 1e10 < n < 2e11
+        assert 10 < d / n < 150
+
+    def test_optimum_beats_neighbours(self):
+        budget = 1e24
+        n, d = optimal_split(budget)
+        best = expected_loss(n, d)
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            other_n = n * factor
+            other_d = budget / (6.0 * other_n)
+            assert expected_loss(other_n, other_d) >= best - 1e-9
+
+    def test_scaling_with_budget(self):
+        n_small, _ = optimal_split(1e22)
+        n_large, _ = optimal_split(1e24)
+        assert n_large > n_small
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ConfigError):
+            optimal_split(0.0)
+
+
+class TestEstimates:
+    def test_estimate_bundles_inputs(self):
+        item = estimate(70e9, 1.4e12)
+        assert isinstance(item, LossEstimate)
+        assert item.tokens_per_parameter == pytest.approx(20.0)
+
+    def test_table_iv_rows_follow_loss_ordering(self):
+        """Among candidates trained to their 20x point, larger models
+        achieve lower expected loss — the reason Table IV picks the
+        largest model that fits the budget."""
+        losses = []
+        for params in (71.8e9, 76.0e9, 88.6e9, 145.6e9):
+            losses.append(expected_loss(params,
+                                        TOKENS_PER_PARAMETER * params))
+        assert losses == sorted(losses, reverse=True)
+
+    def test_undertraining_penalty_positive(self):
+        """MT-NLG: 530B parameters on only 270B tokens is severely
+        under-trained (the Section II-A motivation)."""
+        penalty = undertraining_penalty(530e9, 270e9)
+        assert penalty > 0.05
+
+    def test_fully_trained_penalty_zero(self):
+        assert undertraining_penalty(1e9, 20e9) == pytest.approx(0.0)
+
+    def test_overtrained_penalty_negative(self):
+        assert undertraining_penalty(1e9, 100e9) < 0.0

@@ -1,0 +1,107 @@
+"""Tests for the sequence-parallelism extension (Korthikanti et al.)."""
+
+import pytest
+
+from repro.config.description import InputDescription
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, RecomputeMode,
+                                      TrainingConfig)
+from repro.config.system import single_node
+from repro.errors import ConfigError
+from repro.memory.footprint import activation_bytes_per_layer, memory_footprint
+
+
+@pytest.fixture
+def model():
+    return ModelConfig(hidden_size=2048, num_layers=8, seq_length=2048,
+                       num_heads=16, name="sp-model")
+
+
+@pytest.fixture
+def batch():
+    return TrainingConfig(global_batch_size=8)
+
+
+def plan(sp: bool, t: int = 8, recompute=RecomputeMode.SELECTIVE):
+    return ParallelismConfig(tensor=t, data=1, pipeline=1,
+                             sequence_parallel=sp, recompute=recompute)
+
+
+class TestConfig:
+    def test_requires_tensor_parallelism(self):
+        with pytest.raises(ConfigError, match="sequence_parallel"):
+            ParallelismConfig(tensor=1, data=8, pipeline=1,
+                              sequence_parallel=True)
+
+    def test_default_off(self):
+        assert not ParallelismConfig(tensor=2, data=1,
+                                     pipeline=1).sequence_parallel
+
+    def test_description_round_trip(self, model, batch):
+        desc = InputDescription(model=model, system=single_node(),
+                                plan=plan(True), training=batch)
+        rebuilt = InputDescription.from_dict(desc.to_dict())
+        assert rebuilt.plan.sequence_parallel
+
+
+class TestActivationMemory:
+    def test_sp_divides_all_terms_by_t(self, model):
+        """Korthikanti: selective + SP stores s*b*h*34/t per layer."""
+        with_sp = activation_bytes_per_layer(model, plan(True))
+        expected = (model.seq_length * model.hidden_size * 34.0 / 8)
+        assert with_sp == pytest.approx(expected)
+
+    def test_sp_saves_memory_selective(self, model):
+        assert activation_bytes_per_layer(model, plan(True)) < \
+            activation_bytes_per_layer(model, plan(False))
+
+    def test_sp_saves_memory_none_recompute(self, model):
+        no_rc = RecomputeMode.NONE
+        assert activation_bytes_per_layer(model, plan(True, recompute=no_rc)) \
+            < activation_bytes_per_layer(model, plan(False, recompute=no_rc))
+
+    def test_sp_shards_stored_input_under_full_recompute(self, model):
+        full = RecomputeMode.FULL
+        with_sp = activation_bytes_per_layer(model, plan(True, recompute=full))
+        without = activation_bytes_per_layer(model, plan(False,
+                                                         recompute=full))
+        assert with_sp == pytest.approx(without / 8)
+
+    def test_saving_grows_with_t(self, model):
+        ratios = []
+        for t in (2, 4, 8):
+            sp = activation_bytes_per_layer(model, plan(True, t=t))
+            base = activation_bytes_per_layer(model, plan(False, t=t))
+            ratios.append(sp / base)
+        assert ratios == sorted(ratios, reverse=True)  # bigger t, bigger win
+
+    def test_model_states_unchanged(self, model, batch):
+        with_sp = memory_footprint(model, plan(True), batch)
+        without = memory_footprint(model, plan(False), batch)
+        assert with_sp.model_states == without.model_states
+        assert with_sp.activations < without.activations
+
+
+class TestEndToEnd:
+    def test_sp_unlocks_infeasible_config(self, batch):
+        """The Korthikanti selling point: a config whose activations
+        overflow without SP becomes trainable with it."""
+        from repro.config.system import single_node
+        from repro.memory.footprint import fits_in_memory
+        big = ModelConfig(hidden_size=8192, num_layers=8, seq_length=8192,
+                          num_heads=64, name="long-context")
+        training = TrainingConfig(global_batch_size=32)
+        base = ParallelismConfig(tensor=8, data=1, pipeline=1,
+                                 micro_batch_size=16,
+                                 recompute=RecomputeMode.SELECTIVE)
+        with_sp = base.replaced(sequence_parallel=True)
+        system = single_node()
+        assert not fits_in_memory(big, base, training, system)
+        assert fits_in_memory(big, with_sp, training, system)
+
+    def test_simulation_runs_with_sp(self, model, batch):
+        """SP plans flow through the whole prediction pipeline."""
+        from repro.sim.estimator import VTrain
+        vtrain = VTrain(single_node())
+        prediction = vtrain.predict(model, plan(True), batch)
+        assert prediction.iteration_time > 0

@@ -1,0 +1,117 @@
+"""Unit tests for the noise sources and the testbed emulator."""
+
+import pytest
+
+from repro.config.parallelism import ParallelismConfig
+from repro.config.system import multi_node, single_node
+from repro.errors import ConfigError
+from repro.graph.builder import Granularity
+from repro.sim.estimator import VTrain
+from repro.testbed import noise
+from repro.testbed.emulator import TestbedConfig, TestbedEmulator
+
+
+class TestNoise:
+    def test_unit_in_range_and_deterministic(self):
+        values = [noise.unit(f"key-{i}") for i in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert noise.unit("key-7") == values[7]
+
+    def test_unit_spreads(self):
+        values = [noise.unit(f"spread-{i}") for i in range(500)]
+        assert 0.4 < sum(values) / len(values) < 0.6
+
+    def test_symmetric_range(self):
+        values = [noise.symmetric(f"s-{i}") for i in range(200)]
+        assert all(-1.0 <= v < 1.0 for v in values)
+
+    def test_jitter_bounds(self):
+        values = [noise.jitter(f"j-{i}", 0.05) for i in range(200)]
+        assert all(0.95 <= v < 1.05 for v in values)
+
+    def test_jitter_rejects_negative_amplitude(self):
+        with pytest.raises(ValueError):
+            noise.jitter("x", -0.1)
+
+    def test_lognormal_median_near_one(self):
+        values = sorted(noise.lognormal(f"l-{i}", 0.05) for i in range(501))
+        assert values[250] == pytest.approx(1.0, abs=0.02)
+
+    def test_one_sided_never_speeds_up(self):
+        values = [noise.one_sided(f"o-{i}", 0.3) for i in range(100)]
+        assert all(1.0 <= v < 1.3 for v in values)
+
+
+class TestEmulator:
+    def test_measurement_is_deterministic(self, tiny_model, training):
+        emulator = TestbedEmulator(single_node())
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        first = emulator.measure_time(tiny_model, plan, training)
+        second = emulator.measure_time(tiny_model, plan, training)
+        assert first == second
+
+    def test_measured_exceeds_predicted(self, tiny_model, training):
+        """The testbed carries overheads vTrain does not model, so the
+        paper's systematic underestimation must appear."""
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        predicted = VTrain(single_node()).predict(
+            tiny_model, plan, training).iteration_time
+        measured = TestbedEmulator(single_node()).measure_time(
+            tiny_model, plan, training)
+        assert measured > predicted
+
+    def test_different_seeds_differ(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        a = TestbedEmulator(single_node(),
+                            config=TestbedConfig(seed="run-a"))
+        b = TestbedEmulator(single_node(),
+                            config=TestbedConfig(seed="run-b"))
+        assert a.measure_time(tiny_model, plan, training) != \
+            b.measure_time(tiny_model, plan, training)
+
+    def test_stage_granularity_rejected(self):
+        with pytest.raises(ConfigError):
+            TestbedEmulator(single_node(), granularity=Granularity.STAGE)
+
+    def test_tp_heavy_config_underestimated_more(self, small_model, training):
+        """Section IV: the prediction gap is 'especially more pronounced
+        when tensor parallelism is employed'."""
+        def gap(plan):
+            predicted = VTrain(single_node(), check_memory_feasibility=False
+                               ).predict(small_model, plan, training)
+            measured = TestbedEmulator(single_node()).measure_time(
+                small_model, plan, training)
+            return (measured - predicted.iteration_time) / measured
+
+        tp_heavy = gap(ParallelismConfig(tensor=8, data=1, pipeline=1,
+                                         micro_batch_size=2))
+        dp_only = gap(ParallelismConfig(tensor=1, data=8, pipeline=1,
+                                        micro_batch_size=2))
+        assert tp_heavy > dp_only
+
+    def test_multinode_carries_sync_overhead(self, small_model, training):
+        """Short multi-node iterations suffer relatively more error."""
+        plan = ParallelismConfig(tensor=8, data=2, pipeline=1,
+                                 micro_batch_size=2)
+        system = multi_node(2)
+        predicted = VTrain(system, check_memory_feasibility=False).predict(
+            small_model, plan, training).iteration_time
+        measured = TestbedEmulator(system).measure_time(small_model, plan,
+                                                        training)
+        config = TestbedConfig()
+        assert measured - predicted > config.internode_sync_overhead * 0.5
+
+    def test_with_seed_helper(self):
+        config = TestbedConfig().with_seed("other")
+        assert config.seed == "other"
+        assert config.nccl_interference == TestbedConfig().nccl_interference
+
+    def test_kernel_granularity_supported(self, tiny_model, training):
+        emulator = TestbedEmulator(single_node(),
+                                   granularity=Granularity.KERNEL)
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=1,
+                                 micro_batch_size=4)
+        assert emulator.measure_time(tiny_model, plan, training) > 0

@@ -1,0 +1,69 @@
+"""Unit tests for the validation error-breakdown report."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.validation.campaigns import run_campaign, single_node_points
+from repro.validation.report import (by_data_degree, by_model,
+                                     by_node_count, by_pipeline_degree,
+                                     by_tensor_degree, render_report,
+                                     slice_by, tp_underestimation_gap,
+                                     worst_points)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """A small but diverse single-node campaign slice."""
+    return run_campaign(single_node_points()[::40])
+
+
+class TestSlicing:
+    def test_slices_partition_points(self, campaign):
+        slices = by_tensor_degree(campaign)
+        assert sum(s.accuracy.num_points for s in slices) == \
+            len(campaign.points)
+
+    def test_slice_labels(self, campaign):
+        labels = [s.label for s in by_tensor_degree(campaign)]
+        assert all(label.startswith("t=") for label in labels)
+
+    def test_all_slicers_run(self, campaign):
+        for slicer in (by_tensor_degree, by_data_degree,
+                       by_pipeline_degree, by_node_count, by_model):
+            slices = slicer(campaign)
+            assert slices
+            for item in slices:
+                assert item.accuracy.num_points >= 1
+
+    def test_custom_key(self, campaign):
+        slices = slice_by(campaign, lambda p: p.plan.micro_batch_size,
+                          label="m=")
+        assert {s.label for s in slices} <= {"m=1", "m=2", "m=4"}
+
+    def test_as_row(self, campaign):
+        row = by_tensor_degree(campaign)[0].as_row()
+        assert set(row) == {"slice", "points", "mape_pct", "bias_pct"}
+
+
+class TestFindings:
+    def test_tp_heavy_underestimated_more(self, campaign):
+        """The paper's Section IV observation, reproduced as a metric:
+        the bias gap between the highest and lowest tensor degrees is
+        negative (more underestimation at high TP)."""
+        assert tp_underestimation_gap(campaign) < 0
+
+    def test_worst_points_sorted(self, campaign):
+        worst = worst_points(campaign, count=5)
+        errors = [error for _, error in worst]
+        assert errors == sorted(errors, reverse=True)
+        assert len(worst) == 5
+
+    def test_worst_points_validation(self, campaign):
+        with pytest.raises(ConfigError):
+            worst_points(campaign, count=0)
+
+    def test_render_report_text(self, campaign):
+        text = render_report(campaign, title="unit-test")
+        assert "unit-test" in text
+        assert "by tensor degree" in text
+        assert "MAPE" in text
