@@ -7,7 +7,13 @@ expected shape: more GPUs -> faster iterations, but with collapsing
 utilization at the extreme corner (the paper calls out (16, 16, 105)
 averaging ~17% utilization — 10x the baseline's GPUs for worse cost
 efficiency).
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke lane) to sweep a subsampled
+grid that still contains the paper's baseline (8, 8, 35) and the extreme
+corner (16, 16, 105), so the shape checks run in seconds.
 """
+
+import os
 
 from _helpers import emit_table
 
@@ -16,9 +22,16 @@ from repro.config.parallelism import ParallelismConfig
 from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.space import GridAxes
 
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: Subsampled grid for the CI smoke lane: keeps the baseline-class plans
+#: and the extreme corner, drops the interior.
+QUICK_AXES = GridAxes(tensor=(8, 16), pipeline=(21, 35, 105),
+                      data=(1, 2, 8, 16))
+
 
 def run_dse():
-    axes = GridAxes()
+    axes = QUICK_AXES if QUICK else GridAxes()
     explorer = DesignSpaceExplorer(MT_NLG_530B, MT_NLG_TRAINING)
     plans = []
     for t in axes.tensor:
@@ -44,7 +57,8 @@ def test_fig10_design_space_heatmaps(benchmark):
                      "utilization_pct": 100 * utilization_grid[way]})
     emit_table("fig10_dse", "Figure 10: MT-NLG (t,d,p) design space",
                rows, notes=f"{result.num_feasible} feasible / "
-                           f"{len(result.points)} evaluated")
+                           f"{len(result.points)} evaluated"
+                           f"{' (quick grid)' if QUICK else ''}")
 
     # Shape checks. (a) The extreme corner is fastest...
     fastest = result.best_by_iteration_time()

@@ -6,7 +6,6 @@ reductions up to ~23% as the job count (and hence contention for the
 1,024 GPUs) grows.
 """
 
-import numpy as np
 from _helpers import emit_table
 
 from repro.cluster import (ClusterSimulator, ElasticFlowScheduler,

@@ -5,6 +5,9 @@ Commands:
 * ``predict <description.json>`` — run one simulation from a vTrain-style
   input description file and print iteration time, utilization, memory,
   and (if the description carries a token budget) days and dollars.
+* ``dse <preset>`` — sweep the (t, d, p, m) design space for a preset
+  model, optionally in parallel (``--workers``) and with a persistent
+  prediction cache (``--cache`` / ``--checkpoint``).
 * ``example <name>`` — write a ready-to-edit description file for a
   preset model (``gpt3-175b``, ``mt-nlg-530b``, ...).
 * ``presets`` — list the bundled model presets.
@@ -21,6 +24,10 @@ from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
 from repro.config.presets import MODEL_ZOO
 from repro.config.system import multi_node
+from repro.dse.cache import PredictionCache
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.report import save_csv, to_markdown
+from repro.dse.space import SearchSpace
 from repro.errors import ReproError
 from repro.graph.builder import Granularity
 from repro.sim.estimator import VTrain
@@ -45,6 +52,58 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execution-graph detail level")
     predict.add_argument("--no-memory-check", action="store_true",
                          help="skip the per-GPU memory feasibility check")
+
+    dse = commands.add_parser(
+        "dse", help="sweep the 3D-parallelism design space for a preset "
+                    "model, in parallel and with optional result caching")
+    dse.add_argument("model", choices=_preset_keys(),
+                     help="preset model to sweep")
+    budget = dse.add_mutually_exclusive_group(required=True)
+    budget.add_argument("--num-gpus", type=int,
+                        help="only plans using exactly this many GPUs")
+    budget.add_argument("--max-gpus", type=int,
+                        help="plans using at most this many GPUs")
+    dse.add_argument("--global-batch", type=int, default=64,
+                     help="global batch size in sequences (default: 64)")
+    dse.add_argument("--total-tokens", type=int, default=0,
+                     help="token budget used for cost/day estimates")
+    dse.add_argument("--max-tensor", type=int, default=16,
+                     help="tensor-parallel upper bound (default: 16)")
+    dse.add_argument("--max-data", type=int, default=32,
+                     help="data-parallel upper bound (default: 32)")
+    dse.add_argument("--max-pipeline", type=int, default=105,
+                     help="pipeline-parallel upper bound (default: 105)")
+    dse.add_argument("--micro-batches", type=int, nargs="+",
+                     default=[1, 2, 4, 8, 16], metavar="M",
+                     help="candidate micro-batch sizes (default: 1 2 4 8 16)")
+    dse.add_argument("--gpus-per-node", type=int, default=8,
+                     help="GPUs per server node (default: 8)")
+    dse.add_argument("--granularity", default="stage",
+                     choices=[g.value for g in Granularity],
+                     help="graph detail level (stage is the fast sweep "
+                          "mode; default: stage)")
+    dse.add_argument("--workers", type=int, default=1,
+                     help="evaluate plans on this many worker processes; "
+                          "results are merged back into plan order and are "
+                          "identical to a serial sweep (default: 1)")
+    dse.add_argument("--cache", type=Path, metavar="PATH",
+                     help="persistent prediction cache (JSON): loaded "
+                          "before the sweep if it exists, saved after, so "
+                          "repeated sweeps skip already-predicted plans")
+    dse.add_argument("--checkpoint", type=Path, metavar="PATH",
+                     help="checkpoint file (JSON) written periodically "
+                          "during the sweep; an interrupted sweep rerun "
+                          "with the same path resumes instead of "
+                          "recomputing")
+    dse.add_argument("--csv", type=Path, metavar="PATH",
+                     help="write all feasible design points to a CSV file")
+    dse.add_argument("--top", type=int, default=10,
+                     help="rows in the printed best-plans table "
+                          "(default: 10)")
+    dse.add_argument("--sort", default="cost", choices=["cost", "time"],
+                     help="ranking for the best-plans table (default: cost)")
+    dse.add_argument("--quiet", action="store_true",
+                     help="suppress progress reporting on stderr")
 
     example = commands.add_parser(
         "example", help="write an editable example description file")
@@ -94,6 +153,58 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dse(args: argparse.Namespace) -> int:
+    model = _preset_by_key(args.model)
+    training = TrainingConfig(global_batch_size=args.global_batch,
+                              total_tokens=args.total_tokens)
+    space = SearchSpace(max_tensor=args.max_tensor, max_data=args.max_data,
+                        max_pipeline=args.max_pipeline,
+                        micro_batch_sizes=tuple(args.micro_batches))
+    cache = (PredictionCache.load(args.cache)
+             if args.cache and args.cache.exists() else PredictionCache())
+
+    def report(done: int, total: int) -> None:
+        if not args.quiet and total:
+            print(f"\r  evaluated {done}/{total} plans", end="",
+                  file=sys.stderr, flush=True)
+            if done == total:
+                print(file=sys.stderr)
+
+    explorer = DesignSpaceExplorer(model, training,
+                                   gpus_per_node=args.gpus_per_node,
+                                   granularity=Granularity(args.granularity))
+    result = explorer.explore(space=space, num_gpus=args.num_gpus,
+                              max_gpus=args.max_gpus, workers=args.workers,
+                              cache=cache, checkpoint_path=args.checkpoint,
+                              progress=report)
+    if args.cache:
+        cache.save(args.cache)
+
+    print(f"model            : {model.describe()}")
+    print(f"search space     : {len(result.points)} plans "
+          f"({result.num_feasible} feasible)")
+    print(f"cache            : {cache.hits} hits, {cache.misses} misses, "
+          f"{len(cache)} entries")
+    if result.num_feasible:
+        fastest = result.best_by_iteration_time()
+        cheapest = result.best_by_cost()
+        print(f"fastest plan     : {fastest.plan.describe()} — "
+              f"{fastest.iteration_time:.4f} s/iter on "
+              f"{fastest.num_gpus} GPUs")
+        print(f"cheapest plan    : {cheapest.plan.describe()} — "
+              f"${cheapest.cost_per_iteration():.2f}/iter on "
+              f"{cheapest.num_gpus} GPUs")
+        print()
+        print(f"top {args.top} by {args.sort}:")
+        print(to_markdown(result, top=args.top, sort_by=args.sort))
+    else:
+        print("no feasible plans in the requested space")
+    if args.csv:
+        save_csv(result, args.csv)
+        print(f"\nwrote {result.num_feasible} feasible points to {args.csv}")
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     model = _preset_by_key(args.model)
     plan = ParallelismConfig(tensor=min(8, model.num_heads), data=4,
@@ -122,8 +233,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"predict": _cmd_predict, "example": _cmd_example,
-                "presets": _cmd_presets}
+    handlers = {"predict": _cmd_predict, "dse": _cmd_dse,
+                "example": _cmd_example, "presets": _cmd_presets}
     try:
         return handlers[args.command](args)
     except (ReproError, FileNotFoundError) as exc:

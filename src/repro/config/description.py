@@ -10,17 +10,15 @@ the paper's "input description file".
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
 from repro.config.model import ModelConfig
-from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
-                                      RecomputeMode, TrainingConfig,
+from repro.config.parallelism import (ParallelismConfig, TrainingConfig,
                                       validate_plan)
 from repro.config.system import SystemConfig
 from repro.errors import ConfigError
-from repro.hardware.gpu import A100_80GB, gpu_by_name
 
 
 @dataclass(frozen=True)
@@ -47,51 +45,23 @@ class InputDescription:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form suitable for JSON serialisation."""
-        payload = {
-            "model": asdict(self.model),
-            "system": {
-                "num_gpus": self.system.num_gpus,
-                "gpus_per_node": self.system.gpus_per_node,
-                "gpu": self.system.gpu.name,
-                "internode_bandwidth": self.system.internode_bandwidth,
-                "internode_latency": self.system.internode_latency,
-                "bandwidth_effectiveness": self.system.bandwidth_effectiveness,
-                "intranode_latency": self.system.intranode_latency,
-            },
-            "parallelism": {
-                "tensor": self.plan.tensor,
-                "data": self.plan.data,
-                "pipeline": self.plan.pipeline,
-                "micro_batch_size": self.plan.micro_batch_size,
-                "schedule": self.plan.schedule.value,
-                "gradient_bucketing": self.plan.gradient_bucketing,
-                "num_gradient_buckets": self.plan.num_gradient_buckets,
-                "recompute": self.plan.recompute.value,
-                "sequence_parallel": self.plan.sequence_parallel,
-            },
-            "training": asdict(self.training),
+        return {
+            "model": self.model.to_dict(),
+            "system": self.system.to_dict(),
+            "parallelism": self.plan.to_dict(),
+            "training": self.training.to_dict(),
         }
-        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "InputDescription":
         """Parse a description dict; raises ConfigError on bad input."""
         try:
-            model = ModelConfig(**payload["model"])
-            sys_raw = dict(payload["system"])
-            gpu_name = sys_raw.pop("gpu", A100_80GB.name)
-            system = SystemConfig(gpu=gpu_by_name(gpu_name), **sys_raw)
-            par_raw = dict(payload["parallelism"])
-            par_raw["schedule"] = PipelineSchedule(
-                par_raw.get("schedule", PipelineSchedule.ONE_F_ONE_B.value))
-            par_raw["recompute"] = RecomputeMode(
-                par_raw.get("recompute", RecomputeMode.SELECTIVE.value))
-            plan = ParallelismConfig(**par_raw)
-            training = TrainingConfig(**payload["training"])
+            model = ModelConfig.from_dict(payload["model"])
+            system = SystemConfig.from_dict(payload["system"])
+            plan = ParallelismConfig.from_dict(payload["parallelism"])
+            training = TrainingConfig.from_dict(payload["training"])
         except KeyError as exc:
             raise ConfigError(f"input description missing section {exc}") from exc
-        except (TypeError, ValueError) as exc:
-            raise ConfigError(f"invalid input description: {exc}") from exc
         return cls(model=model, system=system, plan=plan, training=training)
 
     def to_json(self, indent: int = 2) -> str:

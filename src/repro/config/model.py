@@ -12,7 +12,8 @@ and utilization analyses rely on (Figures 1, 10, 11; Tables I, IV).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping
 
 from repro.errors import ConfigError
 
@@ -142,6 +143,21 @@ class ModelConfig:
         if tokens_per_iteration <= 0:
             raise ConfigError("tokens_per_iteration must be positive")
         return self.flops_per_token() * tokens_per_iteration
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form suitable for JSON serialisation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ModelConfig":
+        """Inverse of :meth:`to_dict`; raises ConfigError on bad input."""
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ConfigError(f"invalid model config: {exc}") from exc
 
     # ------------------------------------------------------------------
     # Convenience

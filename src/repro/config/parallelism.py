@@ -10,7 +10,8 @@ gradient bucketing (Figure 5) to overlap All-Reduce with backward compute.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping
 
 from repro.config.model import ModelConfig
 from repro.errors import ConfigError, InfeasibleConfigError
@@ -101,6 +102,26 @@ class ParallelismConfig:
         """Copy with selected fields replaced."""
         return replace(self, **changes)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form suitable for JSON serialisation."""
+        payload = asdict(self)
+        payload["schedule"] = self.schedule.value
+        payload["recompute"] = self.recompute.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ParallelismConfig":
+        """Inverse of :meth:`to_dict`; raises ConfigError on bad input."""
+        raw = dict(payload)
+        try:
+            raw["schedule"] = PipelineSchedule(
+                raw.get("schedule", PipelineSchedule.ONE_F_ONE_B.value))
+            raw["recompute"] = RecomputeMode(
+                raw.get("recompute", RecomputeMode.SELECTIVE.value))
+            return cls(**raw)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"invalid parallelism config: {exc}") from exc
+
 
 @dataclass(frozen=True)
 class TrainingConfig:
@@ -129,6 +150,18 @@ class TrainingConfig:
         """Iterations needed to consume ``total_tokens`` (ceiling)."""
         per_iter = self.tokens_per_iteration(model)
         return -(-self.total_tokens // per_iter) if self.total_tokens else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form suitable for JSON serialisation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TrainingConfig":
+        """Inverse of :meth:`to_dict`; raises ConfigError on bad input."""
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ConfigError(f"invalid training config: {exc}") from exc
 
 
 def validate_plan(model: ModelConfig, plan: ParallelismConfig,

@@ -12,9 +12,10 @@ four 200 Gbps InfiniBand HCAs in a two-level non-blocking fat tree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
 
 from repro.errors import ConfigError
-from repro.hardware.gpu import A100_80GB, GPUSpec
+from repro.hardware.gpu import A100_80GB, GPUSpec, gpu_by_name
 
 GBPS = 1e9 / 8.0  # 1 Gbit/s in bytes/s
 
@@ -82,6 +83,28 @@ class SystemConfig:
         return (f"{self.num_gpus}x {self.gpu.name} "
                 f"({self.num_nodes} nodes x {self.gpus_per_node} GPUs, "
                 f"{self.internode_bandwidth / GBPS:.0f} Gbps inter-node)")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form; the GPU is stored by its registry name."""
+        return {
+            "num_gpus": self.num_gpus,
+            "gpus_per_node": self.gpus_per_node,
+            "gpu": self.gpu.name,
+            "internode_bandwidth": self.internode_bandwidth,
+            "internode_latency": self.internode_latency,
+            "bandwidth_effectiveness": self.bandwidth_effectiveness,
+            "intranode_latency": self.intranode_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SystemConfig":
+        """Inverse of :meth:`to_dict`; raises ConfigError on bad input."""
+        raw = dict(payload)
+        gpu_name = raw.pop("gpu", A100_80GB.name)
+        try:
+            return cls(gpu=gpu_by_name(gpu_name), **raw)
+        except TypeError as exc:
+            raise ConfigError(f"invalid system config: {exc}") from exc
 
 
 def single_node(gpus_per_node: int = 8, gpu: GPUSpec = A100_80GB) -> SystemConfig:

@@ -1,0 +1,175 @@
+"""Persistent prediction cache for design-space sweeps.
+
+A full Figure-10-style sweep evaluates thousands of (t, d, p, m) plans,
+and re-running it — after an interrupt, a changed GPU budget, or a
+follow-up study over an overlapping space — recomputes every point from
+scratch. Related simulators (Echo, arXiv:2412.12487; Charon,
+arXiv:2605.17164) memoize per-config predictions for exactly this
+reason.
+
+:class:`PredictionCache` maps a canonical fingerprint of
+``(model, plan, system, granularity)`` — everything that determines a
+prediction — to the resulting :class:`~repro.dse.explorer.DesignPoint`.
+It round-trips through strict JSON so caches survive on disk, can be
+shipped between machines, and double as sweep checkpoints
+(:class:`~repro.dse.parallel.ParallelExplorer` saves one periodically so
+interrupted sweeps resume instead of recomputing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.system import SystemConfig
+from repro.dse.explorer import DesignPoint
+from repro.errors import ConfigError
+from repro.graph.builder import Granularity
+
+#: Bump when the prediction payload or fingerprint recipe changes, so
+#: stale caches are rejected instead of silently misread.
+CACHE_FORMAT_VERSION = 1
+
+
+def fingerprint(model: ModelConfig, plan: ParallelismConfig,
+                training: TrainingConfig, system: SystemConfig,
+                granularity: Granularity) -> str:
+    """Canonical cache key for one prediction.
+
+    The key hashes the *complete* simulation input — model, plan,
+    training recipe (the global batch drives micro-batch scheduling and
+    memory feasibility), system (GPU spec by registry name, interconnect
+    parameters), and graph granularity — via sorted-key JSON, so
+    logically equal configurations produce identical keys regardless of
+    construction order.
+    """
+    payload = {
+        "model": model.to_dict(),
+        "plan": plan.to_dict(),
+        "training": training.to_dict(),
+        "system": system.to_dict(),
+        "granularity": granularity.value,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class PredictionCache:
+    """In-memory map of prediction fingerprints to design points.
+
+    Attributes:
+        hits: Number of :meth:`get` calls answered from the cache.
+        misses: Number of :meth:`get` calls that found nothing.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> DesignPoint | None:
+        """The cached point for ``key``, counting a hit or a miss."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return DesignPoint.from_dict(payload)
+
+    def put(self, key: str, point: DesignPoint) -> None:
+        """Store ``point`` under ``key`` (overwrites silently)."""
+        self._entries[key] = point.to_dict()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters for logs and tests."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (entries sorted for stable diffs)."""
+        return {
+            "version": CACHE_FORMAT_VERSION,
+            "entries": {key: self._entries[key]
+                        for key in sorted(self._entries)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PredictionCache":
+        """Rebuild a cache from :meth:`to_dict` output."""
+        version = payload.get("version")
+        if version != CACHE_FORMAT_VERSION:
+            raise ConfigError(
+                f"prediction cache version {version!r} is not supported "
+                f"(expected {CACHE_FORMAT_VERSION})")
+        entries = payload.get("entries")
+        if not isinstance(entries, Mapping):
+            raise ConfigError("prediction cache payload has no entries map")
+        cache = cls()
+        for key, entry in entries.items():
+            DesignPoint.from_dict(entry)  # validate eagerly
+            cache._entries[key] = dict(entry)
+        return cache
+
+    def save(self, path: str | Path) -> None:
+        """Write the cache to a JSON file (parent dirs created).
+
+        The write is atomic (temp file + rename in the target
+        directory): checkpoints exist so interrupted sweeps can resume,
+        so an interrupt landing mid-write must not corrupt the file.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(dir=target.parent,
+                                             prefix=f".{target.name}.")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(self.to_dict(), stream, indent=1)
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PredictionCache":
+        """Read a cache from a JSON file.
+
+        Raises:
+            ConfigError: On malformed JSON or an unsupported version.
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"prediction cache {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def merge(self, other: "PredictionCache") -> int:
+        """Absorb another cache's entries; returns how many were new."""
+        added = 0
+        for key, entry in other._entries.items():
+            if key not in self._entries:
+                added += 1
+            self._entries[key] = dict(entry)
+        return added

@@ -10,8 +10,9 @@ frontier of (iteration time, cost), and the Figure-10 heatmap grids.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable, Mapping, TYPE_CHECKING
 
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
@@ -21,6 +22,9 @@ from repro.errors import ConfigError, InfeasibleConfigError
 from repro.graph.builder import Granularity
 from repro.dse.space import SearchSpace, enumerate_plans
 from repro.sim.estimator import VTrain
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dse.cache import PredictionCache
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,38 @@ class DesignPoint:
         if not self.feasible:
             return float("inf")
         return pricing.cost(self.num_gpus, self.iteration_time)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form suitable for JSON serialisation.
+
+        Non-finite iteration times (infeasible rows) are stored as
+        ``None`` so the payload stays strict JSON.
+        """
+        return {
+            "plan": self.plan.to_dict(),
+            "feasible": self.feasible,
+            "iteration_time": (self.iteration_time
+                               if math.isfinite(self.iteration_time)
+                               else None),
+            "utilization": self.utilization,
+            "memory_gib": self.memory_gib,
+            "infeasible_reason": self.infeasible_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DesignPoint":
+        """Inverse of :meth:`to_dict`; raises ConfigError on bad input."""
+        raw = dict(payload)
+        try:
+            plan = ParallelismConfig.from_dict(raw.pop("plan"))
+        except KeyError as exc:
+            raise ConfigError("design point payload missing plan") from exc
+        if raw.get("iteration_time") is None:
+            raw["iteration_time"] = float("inf")
+        try:
+            return cls(plan=plan, **raw)
+        except TypeError as exc:
+            raise ConfigError(f"invalid design point: {exc}") from exc
 
 
 @dataclass
@@ -160,6 +196,7 @@ class DesignSpaceExplorer:
         self.training = training
         self.gpus_per_node = gpus_per_node
         self.granularity = granularity
+        self.has_custom_system_factory = system_factory is not None
         self._system_factory = system_factory or self._default_system
         self._simulators: dict[int, VTrain] = {}
 
@@ -167,22 +204,29 @@ class DesignSpaceExplorer:
         nodes = max(1, -(-num_gpus // self.gpus_per_node))
         return multi_node(nodes, gpus_per_node=self.gpus_per_node)
 
+    def system_for(self, num_gpus: int) -> SystemConfig:
+        """The system a plan occupying ``num_gpus`` GPUs runs on (the
+        plan's node count rounded up to whole nodes)."""
+        nodes = max(1, -(-num_gpus // self.gpus_per_node))
+        return self._system_factory(nodes * self.gpus_per_node)
+
     def _simulator_for(self, num_gpus: int) -> VTrain:
         nodes = max(1, -(-num_gpus // self.gpus_per_node))
         simulator = self._simulators.get(nodes)
         if simulator is None:
-            simulator = VTrain(self._system_factory(nodes * self.gpus_per_node),
+            simulator = VTrain(self.system_for(num_gpus),
                                granularity=self.granularity)
             self._simulators[nodes] = simulator
         return simulator
 
     def evaluate(self, plan: ParallelismConfig) -> DesignPoint:
         """Evaluate a single plan into a DesignPoint (never raises for
-        infeasible plans — they become ``feasible=False`` rows)."""
+        infeasible or structurally invalid plans — both become
+        ``feasible=False`` rows, so one bad plan cannot abort a sweep)."""
         simulator = self._simulator_for(plan.total_gpus)
         try:
             prediction = simulator.predict(self.model, plan, self.training)
-        except InfeasibleConfigError as exc:
+        except (InfeasibleConfigError, ConfigError) as exc:
             return DesignPoint(plan=plan, feasible=False,
                                infeasible_reason=str(exc))
         return DesignPoint(
@@ -194,8 +238,41 @@ class DesignSpaceExplorer:
     def explore(self, *, space: SearchSpace = SearchSpace(),
                 num_gpus: int | None = None, max_gpus: int | None = None,
                 plans: Iterable[ParallelismConfig] | None = None,
+                workers: int | None = None,
+                cache: "PredictionCache | None" = None,
+                checkpoint_path: Any = None,
+                progress: Callable[[int, int], None] | None = None,
                 ) -> DSEResult:
-        """Evaluate a plan iterable (or the enumerated search space)."""
+        """Evaluate a plan iterable (or the enumerated search space).
+
+        Args:
+            space / num_gpus / max_gpus / plans: What to sweep (see
+                :func:`repro.dse.space.enumerate_plans`).
+            workers: Evaluate plans on this many worker processes
+                (``> 1`` fans out via :class:`repro.dse.parallel.
+                ParallelExplorer`; results are merged back into plan
+                order, bit-identical to the serial sweep).
+            cache: A :class:`~repro.dse.cache.PredictionCache`; plans
+                whose fingerprint is already cached skip simulation.
+            checkpoint_path: JSON file the sweep's cache is periodically
+                saved to, and resumed from when it already exists.
+            progress: Callback ``progress(completed, total)`` invoked as
+                the sweep advances.
+        """
+        if (workers is not None and workers > 1) or cache is not None \
+                or checkpoint_path is not None or progress is not None:
+            from repro.dse.parallel import ParallelExplorer
+            engine = ParallelExplorer(
+                self.model, self.training,
+                workers=workers if workers is not None else 1,
+                gpus_per_node=self.gpus_per_node,
+                granularity=self.granularity,
+                system_factory=(self._system_factory
+                                if self.has_custom_system_factory else None),
+                cache=cache, checkpoint_path=checkpoint_path,
+                progress=progress)
+            return engine.explore(space=space, num_gpus=num_gpus,
+                                  max_gpus=max_gpus, plans=plans)
         if plans is None:
             plans = enumerate_plans(self.model, self.training, space=space,
                                     num_gpus=num_gpus, max_gpus=max_gpus)

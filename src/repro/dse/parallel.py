@@ -1,0 +1,255 @@
+"""Parallel, cache-aware design-space sweep engine.
+
+The paper's headline capability is sweeping the entire MT-NLG
+parallelization space "in under 200 seconds". Plan evaluations are
+independent of each other — embarrassingly parallel — so this module
+fans them out over a :class:`concurrent.futures.ProcessPoolExecutor` in
+chunked work units, while a :class:`~repro.dse.cache.PredictionCache`
+short-circuits plans whose prediction is already known (warm caches,
+repeated sweeps, or a checkpoint left by an interrupted run).
+
+Determinism contract: the merged :class:`~repro.dse.explorer.DSEResult`
+lists points in the original plan order and is bit-identical to what the
+serial :class:`~repro.dse.explorer.DesignSpaceExplorer` produces — the
+workers run exactly the same evaluation code on the same deterministic
+analytical device model, and results are merged by index.
+
+Each worker process hosts one long-lived
+:class:`~repro.dse.explorer.DesignSpaceExplorer`, so per-worker
+profiling state (the necessary-operator lookup table) warms once and is
+reused across every chunk that worker pulls.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.system import SystemConfig
+from repro.dse.cache import PredictionCache, fingerprint
+from repro.dse.explorer import DesignPoint, DesignSpaceExplorer, DSEResult
+from repro.dse.space import SearchSpace, enumerate_plans
+from repro.errors import ConfigError
+from repro.graph.builder import Granularity
+
+#: Chunks are sized so each worker sees roughly this many chunks over a
+#: sweep — large enough to amortise IPC, small enough to balance load.
+_CHUNKS_PER_WORKER = 4
+
+#: Upper bound on plans per work unit, so huge sweeps still checkpoint
+#: and report progress at a reasonable cadence.
+_MAX_CHUNK_SIZE = 64
+
+# ---------------------------------------------------------------------------
+# Worker-process machinery (module-level so it pickles under spawn/fork)
+# ---------------------------------------------------------------------------
+
+_WORKER_EXPLORER: DesignSpaceExplorer | None = None
+
+
+def _init_worker(model_dict: dict[str, Any], training_dict: dict[str, Any],
+                 gpus_per_node: int, granularity_value: str,
+                 system_factory: Callable[[int], SystemConfig] | None,
+                 ) -> None:
+    """Build this worker's long-lived explorer from serialized configs."""
+    global _WORKER_EXPLORER
+    _WORKER_EXPLORER = DesignSpaceExplorer(
+        ModelConfig.from_dict(model_dict),
+        TrainingConfig.from_dict(training_dict),
+        gpus_per_node=gpus_per_node,
+        granularity=Granularity(granularity_value),
+        system_factory=system_factory)
+
+
+def _evaluate_chunk(chunk: list[tuple[int, dict[str, Any]]],
+                    ) -> list[tuple[int, dict[str, Any]]]:
+    """Evaluate one work unit: [(index, plan dict)] -> [(index, point dict)]."""
+    assert _WORKER_EXPLORER is not None, "worker initializer did not run"
+    results = []
+    for index, plan_dict in chunk:
+        plan = ParallelismConfig.from_dict(plan_dict)
+        results.append((index, _WORKER_EXPLORER.evaluate(plan).to_dict()))
+    return results
+
+
+class ParallelExplorer:
+    """Fan a design-space sweep out over worker processes, with caching.
+
+    Drop-in alternative to :class:`DesignSpaceExplorer.explore` for large
+    sweeps (``DesignSpaceExplorer.explore(workers=...)`` delegates here).
+
+    Args:
+        model: Target LLM.
+        training: Batch/token recipe.
+        workers: Worker processes. ``1`` evaluates in-process (still
+            cache-aware); ``None`` uses the machine's CPU count.
+        gpus_per_node: Node size used to derive per-plan systems.
+        granularity: Graph granularity (STAGE recommended for sweeps).
+        system_factory: Override how a plan's GPU count becomes a
+            :class:`SystemConfig`. Must be picklable (a module-level
+            function) when ``workers > 1``.
+        cache: Prediction cache consulted before evaluating and updated
+            after; omit to create a private one (exposed as ``.cache``).
+        checkpoint_path: JSON file the cache is saved to every
+            ``checkpoint_every`` completed chunks and at sweep end. If it
+            already exists it is loaded first, so an interrupted sweep
+            resumes from where it stopped.
+        checkpoint_every: Checkpoint cadence, in completed chunks.
+        chunk_size: Plans per work unit (default: sized so each worker
+            receives a handful of chunks).
+        progress: Callback ``progress(completed, total)`` invoked after
+            the cache scan and as chunks finish.
+    """
+
+    def __init__(self, model: ModelConfig, training: TrainingConfig, *,
+                 workers: int | None = None,
+                 gpus_per_node: int = 8,
+                 granularity: Granularity = Granularity.STAGE,
+                 system_factory: Callable[[int], SystemConfig] | None = None,
+                 cache: PredictionCache | None = None,
+                 checkpoint_path: str | Path | None = None,
+                 checkpoint_every: int = 8,
+                 chunk_size: int | None = None,
+                 progress: Callable[[int, int], None] | None = None,
+                 ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1")
+        if checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
+        self.model = model
+        self.training = training
+        self.workers = workers if workers is not None else (os.cpu_count()
+                                                            or 1)
+        self.gpus_per_node = gpus_per_node
+        self.granularity = granularity
+        self.cache = cache if cache is not None else PredictionCache()
+        self.checkpoint_path = (Path(checkpoint_path)
+                                if checkpoint_path is not None else None)
+        self.checkpoint_every = checkpoint_every
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self._system_factory = system_factory
+        # Serial twin: derives per-plan systems for fingerprinting and
+        # evaluates in-process when workers == 1.
+        self._serial = DesignSpaceExplorer(
+            model, training, gpus_per_node=gpus_per_node,
+            granularity=granularity, system_factory=system_factory)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def explore(self, *, space: SearchSpace = SearchSpace(),
+                num_gpus: int | None = None, max_gpus: int | None = None,
+                plans: Iterable[ParallelismConfig] | None = None,
+                ) -> DSEResult:
+        """Sweep the space; returns points in enumeration order."""
+        if plans is None:
+            plans = enumerate_plans(self.model, self.training, space=space,
+                                    num_gpus=num_gpus, max_gpus=max_gpus)
+        plan_list = list(plans)
+        total = len(plan_list)
+        self._load_checkpoint()
+
+        points: list[DesignPoint | None] = [None] * total
+        pending: list[tuple[int, ParallelismConfig, str]] = []
+        for index, plan in enumerate(plan_list):
+            key = self.fingerprint_for(plan)
+            cached = self.cache.get(key)
+            if cached is not None:
+                points[index] = cached
+            else:
+                pending.append((index, plan, key))
+        self._report(total - len(pending), total)
+
+        if pending:
+            chunks = self._chunk(pending)
+            if self.workers > 1:
+                self._run_pool(chunks, points, total)
+            else:
+                self._run_serial(chunks, points, total)
+            self._save_checkpoint()
+
+        assert all(point is not None for point in points)
+        return DSEResult(model=self.model, training=self.training,
+                         points=points)
+
+    def fingerprint_for(self, plan: ParallelismConfig) -> str:
+        """Cache key of one plan under this sweep's model/system/detail."""
+        return fingerprint(self.model, plan, self.training,
+                           self._serial.system_for(plan.total_gpus),
+                           self.granularity)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _chunk(self, pending: list[tuple[int, ParallelismConfig, str]],
+               ) -> list[list[tuple[int, ParallelismConfig, str]]]:
+        size = self.chunk_size
+        if size is None:
+            per_worker = -(-len(pending) // (self.workers
+                                             * _CHUNKS_PER_WORKER))
+            size = max(1, min(_MAX_CHUNK_SIZE, per_worker))
+        return [pending[start:start + size]
+                for start in range(0, len(pending), size)]
+
+    def _absorb(self, chunk_keys: dict[int, str],
+                results: list[tuple[int, DesignPoint]],
+                points: list[DesignPoint | None]) -> None:
+        for index, point in results:
+            points[index] = point
+            self.cache.put(chunk_keys[index], point)
+
+    def _run_pool(self, chunks, points, total) -> None:
+        init_args = (self.model.to_dict(), self.training.to_dict(),
+                     self.gpus_per_node, self.granularity.value,
+                     self._system_factory)
+        max_workers = min(self.workers, len(chunks))
+        done = total - sum(len(chunk) for chunk in chunks)
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers, initializer=_init_worker,
+                initargs=init_args) as pool:
+            futures = {}
+            for chunk in chunks:
+                payload = [(index, plan.to_dict()) for index, plan, _ in chunk]
+                future = pool.submit(_evaluate_chunk, payload)
+                futures[future] = {index: key for index, _, key in chunk}
+            completed_chunks = 0
+            for future in concurrent.futures.as_completed(futures):
+                results = [(index, DesignPoint.from_dict(payload))
+                           for index, payload in future.result()]
+                self._absorb(futures[future], results, points)
+                completed_chunks += 1
+                done += len(results)
+                self._report(done, total)
+                if completed_chunks % self.checkpoint_every == 0:
+                    self._save_checkpoint()
+
+    def _run_serial(self, chunks, points, total) -> None:
+        done = total - sum(len(chunk) for chunk in chunks)
+        for completed_chunks, chunk in enumerate(chunks, start=1):
+            results = [(index, self._serial.evaluate(plan))
+                       for index, plan, _ in chunk]
+            self._absorb({index: key for index, _, key in chunk},
+                         results, points)
+            done += len(results)
+            self._report(done, total)
+            if completed_chunks % self.checkpoint_every == 0:
+                self._save_checkpoint()
+
+    def _report(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)
+
+    def _load_checkpoint(self) -> None:
+        if self.checkpoint_path is not None and self.checkpoint_path.exists():
+            self.cache.merge(PredictionCache.load(self.checkpoint_path))
+
+    def _save_checkpoint(self) -> None:
+        if self.checkpoint_path is not None:
+            self.cache.save(self.checkpoint_path)

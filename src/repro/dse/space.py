@@ -67,6 +67,17 @@ class SearchSpace:
     schedule: PipelineSchedule = PipelineSchedule.ONE_F_ONE_B
     recompute: RecomputeMode = RecomputeMode.SELECTIVE
 
+    def __post_init__(self) -> None:
+        for field_name in ("max_tensor", "max_data", "max_pipeline"):
+            if getattr(self, field_name) < 1:
+                raise ConfigError(f"{field_name} must be >= 1")
+        if not self.micro_batch_sizes:
+            raise ConfigError("micro_batch_sizes must not be empty")
+        for size in self.micro_batch_sizes:
+            if not isinstance(size, int) or size < 1:
+                raise ConfigError(
+                    f"micro-batch sizes must be positive ints, got {size!r}")
+
 
 def tensor_candidates(model: ModelConfig, space: SearchSpace) -> list[int]:
     """Valid tensor degrees: powers of two dividing the attention heads."""

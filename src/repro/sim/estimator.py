@@ -65,6 +65,7 @@ class VTrain:
         self.nccl = nccl if nccl is not None else NcclModel(system)
         self.check_memory_feasibility = check_memory_feasibility
         self.zero1_sharding = zero1_sharding
+        self.num_predictions = 0
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -88,6 +89,7 @@ class VTrain:
             InfeasibleConfigError: Structural violation, or (when memory
                 checking is enabled) per-GPU memory overflow.
         """
+        self.num_predictions += 1
         if self.check_memory_feasibility:
             footprint = check_memory(model, plan, training, self.system,
                                      zero1_sharding=self.zero1_sharding)
@@ -154,6 +156,7 @@ class VTrain:
             "operators_profiled": self.lookup.num_profiled,
             "lookups_served_from_table": self.lookup.num_reused,
             "kernels_traced": self.tracer.stats.kernels_traced,
+            "predictions": self.num_predictions,
         }
 
 

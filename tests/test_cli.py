@@ -57,6 +57,40 @@ class TestPredict:
         assert "error:" in capsys.readouterr().err
 
 
+class TestDse:
+    ARGS = ["dse", "megatron-1.7b", "--max-gpus", "4", "--global-batch", "8",
+            "--max-tensor", "2", "--max-data", "2", "--max-pipeline", "2",
+            "--micro-batches", "1", "--quiet"]
+
+    def test_dse_prints_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "search space" in out
+        assert "fastest plan" in out
+        assert "cheapest plan" in out
+
+    def test_dse_writes_cache_and_reuses_it(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        args = self.ARGS + ["--cache", str(cache)]
+        assert main(args) == 0
+        assert cache.exists()
+        first = capsys.readouterr().out
+        assert "0 hits" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second
+
+    def test_dse_writes_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "points.csv"
+        assert main(self.ARGS + ["--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        assert "tensor" in csv_path.read_text().splitlines()[0]
+
+    def test_dse_requires_a_gpu_budget(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dse", "megatron-1.7b"])
+
+
 class TestExampleAndPresets:
     def test_example_round_trips_through_predict(self, tmp_path, capsys):
         output = tmp_path / "example.json"

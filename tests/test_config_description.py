@@ -3,9 +3,8 @@
 import pytest
 
 from repro.config.description import InputDescription
-from repro.config.model import ModelConfig
 from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
-                                      RecomputeMode, TrainingConfig)
+                                      RecomputeMode)
 from repro.config.system import single_node
 from repro.errors import ConfigError, InfeasibleConfigError
 

@@ -1,0 +1,112 @@
+"""to_dict/from_dict round-trips for every config type.
+
+The parallel sweep engine ships configs to worker processes and persists
+predictions to JSON caches, so each config type must round-trip exactly
+(including through a strict-JSON encode/decode cycle).
+"""
+
+import json
+
+import pytest
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
+                                      RecomputeMode, TrainingConfig)
+from repro.config.system import SystemConfig
+from repro.dse.explorer import DesignPoint
+from repro.errors import ConfigError
+from repro.hardware.gpu import H100_80GB
+
+
+def json_cycle(payload):
+    """Force a strict-JSON encode/decode, as a cache file would."""
+    return json.loads(json.dumps(payload))
+
+
+class TestModelConfig:
+    def test_round_trip(self, tiny_model):
+        payload = json_cycle(tiny_model.to_dict())
+        assert ModelConfig.from_dict(payload) == tiny_model
+
+    def test_bad_field_raises(self):
+        with pytest.raises(ConfigError):
+            ModelConfig.from_dict({"hidden_size": 64, "bogus": 1})
+
+
+class TestParallelismConfig:
+    def test_round_trip(self):
+        plan = ParallelismConfig(tensor=2, data=4, pipeline=2,
+                                 micro_batch_size=2,
+                                 schedule=PipelineSchedule.GPIPE,
+                                 gradient_bucketing=False,
+                                 num_gradient_buckets=2,
+                                 recompute=RecomputeMode.FULL,
+                                 sequence_parallel=True)
+        payload = json_cycle(plan.to_dict())
+        assert payload["schedule"] == "gpipe"
+        assert payload["recompute"] == "full"
+        assert ParallelismConfig.from_dict(payload) == plan
+
+    def test_enum_defaults_fill_in(self):
+        plan = ParallelismConfig.from_dict({"tensor": 1, "data": 2,
+                                            "pipeline": 1})
+        assert plan.schedule is PipelineSchedule.ONE_F_ONE_B
+        assert plan.recompute is RecomputeMode.SELECTIVE
+
+    def test_bad_enum_raises(self):
+        with pytest.raises(ConfigError):
+            ParallelismConfig.from_dict({"tensor": 1, "data": 1,
+                                         "pipeline": 1,
+                                         "schedule": "round-robin"})
+
+
+class TestTrainingConfig:
+    def test_round_trip(self, training):
+        payload = json_cycle(training.to_dict())
+        assert TrainingConfig.from_dict(payload) == training
+
+    def test_bad_field_raises(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig.from_dict({"batch": 16})
+
+
+class TestSystemConfig:
+    def test_round_trip(self, cluster_system):
+        payload = json_cycle(cluster_system.to_dict())
+        assert SystemConfig.from_dict(payload) == cluster_system
+
+    def test_gpu_stored_by_name(self):
+        system = SystemConfig(num_gpus=8, gpu=H100_80GB)
+        payload = json_cycle(system.to_dict())
+        assert payload["gpu"] == H100_80GB.name
+        assert SystemConfig.from_dict(payload).gpu is H100_80GB
+
+    def test_unknown_gpu_raises(self, node_system):
+        payload = node_system.to_dict()
+        payload["gpu"] = "TPU-v9"
+        with pytest.raises(ConfigError):
+            SystemConfig.from_dict(payload)
+
+
+class TestDesignPoint:
+    def test_feasible_round_trip(self):
+        point = DesignPoint(plan=ParallelismConfig(tensor=2, data=2,
+                                                   pipeline=2),
+                            feasible=True, iteration_time=0.125,
+                            utilization=0.5, memory_gib=12.5)
+        payload = json_cycle(point.to_dict())
+        assert DesignPoint.from_dict(payload) == point
+
+    def test_infeasible_round_trip_keeps_infinite_time(self):
+        point = DesignPoint(plan=ParallelismConfig(tensor=1, data=1,
+                                                   pipeline=1),
+                            feasible=False, infeasible_reason="too big")
+        payload = json_cycle(point.to_dict())
+        assert payload["iteration_time"] is None  # strict JSON, no Infinity
+        restored = DesignPoint.from_dict(payload)
+        assert restored == point
+        assert restored.iteration_time == float("inf")
+
+    def test_missing_plan_raises(self):
+        with pytest.raises(ConfigError):
+            DesignPoint.from_dict({"feasible": True})

@@ -41,6 +41,14 @@ class TestSpaceHelpers:
                              num_heads=12)
         assert tensor_candidates(narrow, SearchSpace()) == [1, 2, 4]
 
+    def test_search_space_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            SearchSpace(max_tensor=0)
+        with pytest.raises(ConfigError):
+            SearchSpace(micro_batch_sizes=())
+        with pytest.raises(ConfigError):
+            SearchSpace(micro_batch_sizes=(1, 0))
+
     def test_pipeline_candidates_divide_layers(self, model):
         assert pipeline_candidates(model, SearchSpace(max_pipeline=6)) == [
             1, 2, 3, 4, 6]
@@ -155,6 +163,26 @@ class TestExplorer:
                                                     pipeline=1))
         assert not point.feasible
         assert "GiB" in point.infeasible_reason
+
+    def test_structurally_invalid_plan_becomes_row(self, model, training):
+        """Regression: a ConfigError from a structurally invalid plan
+        (micro-batch larger than the per-replica batch) used to abort the
+        whole sweep instead of becoming an infeasible row."""
+        explorer = DesignSpaceExplorer(model, training)
+        bad = ParallelismConfig(tensor=1, data=1, pipeline=1,
+                                micro_batch_size=64)
+        point = explorer.evaluate(bad)
+        assert not point.feasible
+        assert point.infeasible_reason
+
+    def test_invalid_plan_does_not_abort_explore(self, model, training):
+        explorer = DesignSpaceExplorer(model, training)
+        bad = ParallelismConfig(tensor=1, data=1, pipeline=1,
+                                micro_batch_size=64)
+        good = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        result = explorer.explore(plans=[bad, good])
+        assert [p.feasible for p in result.points] == [False, True]
 
     def test_micro_batch_collapse(self, model, training):
         explorer = DesignSpaceExplorer(model, training)

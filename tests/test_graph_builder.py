@@ -9,11 +9,11 @@ granularity aggregation.
 import pytest
 
 from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
-                                      RecomputeMode, TrainingConfig)
+                                      RecomputeMode)
 from repro.config.system import multi_node, single_node
 from repro.errors import ConfigError
 from repro.graph.builder import Granularity, GraphBuilder
-from repro.graph.structure import (KIND_COMPUTE, KIND_DP_COMM, KIND_PP_COMM,
+from repro.graph.structure import (KIND_DP_COMM, KIND_PP_COMM,
                                    KIND_TP_COMM, KIND_WEIGHT_UPDATE)
 from repro.profiling.cupti import CuptiTracer
 from repro.profiling.lookup import OperatorToTaskTable

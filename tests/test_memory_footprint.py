@@ -3,9 +3,8 @@
 import pytest
 
 from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
-                                      RecomputeMode, TrainingConfig)
+                                      RecomputeMode)
 from repro.config.presets import MT_NLG_530B, MT_NLG_TRAINING
-from repro.config.system import single_node
 from repro.errors import InfeasibleConfigError
 from repro.memory.footprint import (activation_bytes_per_layer, check_memory,
                                     fits_in_memory, memory_footprint,

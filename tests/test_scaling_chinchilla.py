@@ -48,12 +48,14 @@ class TestCandidates:
         assert candidate_model(10240, 60).parameters_billion == \
             pytest.approx(76.0, rel=0.01)
 
+    @pytest.mark.slow
     def test_tokens_at_20x_params(self):
         system = multi_node(8)
         candidate = evaluate_candidate(4096, 32, 64, system)
         assert candidate.tokens == pytest.approx(
             TOKENS_PER_PARAMETER * candidate.model.num_parameters())
 
+    @pytest.mark.slow
     def test_candidate_row_fields(self):
         system = multi_node(8)
         row = evaluate_candidate(4096, 32, 64, system).as_row()
@@ -61,6 +63,7 @@ class TestCandidates:
                             "optimal_tdp", "estimated_days"}
 
 
+@pytest.mark.slow
 class TestBestPlan:
     def test_plan_uses_exact_budget(self):
         system = multi_node(8)
@@ -73,6 +76,7 @@ class TestBestPlan:
         assert training.global_batch_size % plan.data == 0
 
 
+@pytest.mark.slow
 class TestSearch:
     def test_smaller_models_train_faster(self):
         """Monotonicity across two Table IV rows."""

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.graph.structure import (COMM_STREAM, COMPUTE_STREAM,
                                    ExecutionGraph, GraphAssembler,
-                                   KIND_COMPUTE, KIND_DP_COMM, TaskNode)
+                                   KIND_COMPUTE, KIND_DP_COMM)
 from repro.sim.engine import (compute_idle_fraction, critical_path_length,
                               simulate, stream_serialisation_check)
 
