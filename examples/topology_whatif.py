@@ -1,0 +1,67 @@
+"""What-if study: the MT-NLG training plan across cluster fabrics.
+
+The paper models the inter-node network as one flat ``alpha * Bmax``
+pipe, so it can ask "what if the links were slower" but not "what if the
+*fabric* were shaped differently". The ``repro.network`` subsystem can:
+it routes every collective over an explicit topology graph and charges
+per-link contention. This example re-runs the MT-NLG 530B baseline plan
+(t=8, p=35, d=8 — 2,240 GPUs) on a rail-optimized SuperPOD-style fabric
+and on 2-level fat trees with increasing uplink oversubscription, and
+shows where the data-parallel All-Reduce lands on each.
+
+Run:
+    python examples/topology_whatif.py
+"""
+
+from repro import Granularity, VTrain, multi_node
+from repro.config.presets import (MT_NLG_530B, MT_NLG_BASELINE_PLANS,
+                                  MT_NLG_TRAINING)
+from repro.hardware.interconnect import LinkType
+from repro.network.model import TopologyAwareNcclModel
+
+MIB = float(1 << 20)
+PLAN = MT_NLG_BASELINE_PLANS[0]  # t=8, d=8, p=35
+NETWORKS = ("flat", "rail", "fat-tree", "fat-tree:4", "fat-tree:8")
+PROBE_BYTES = 256 * MIB  # a gradient-bucket-sized All-Reduce
+
+
+def main() -> None:
+    nodes = PLAN.total_gpus // 8
+    print(f"Workload: {MT_NLG_530B.describe()}")
+    print(f"Plan:     {PLAN.describe()} on {PLAN.total_gpus} GPUs "
+          f"({nodes} nodes)\n")
+    header = (f"{'network':<12} {'iter (s)':>9} {'vs flat':>8} "
+              f"{'DP-AR 256MiB (ms)':>18}  algorithm")
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for network in NETWORKS:
+        system = multi_node(nodes, network=network)
+        vtrain = VTrain(system, granularity=Granularity.STAGE,
+                        check_memory_feasibility=False)
+        prediction = vtrain.predict(MT_NLG_530B, PLAN, MT_NLG_TRAINING)
+        if network == "flat":
+            probe = vtrain.nccl.allreduce_time(PROBE_BYTES, PLAN.data,
+                                               LinkType.INTER_NODE)
+            algorithm = "flat ring (Eq. 1)"
+        else:
+            assert isinstance(vtrain.nccl, TopologyAwareNcclModel)
+            info = vtrain.nccl.explain(PROBE_BYTES, PLAN.data)
+            probe, algorithm = info["time"], info["algorithm"]
+        if baseline is None:
+            baseline = prediction.iteration_time
+        delta = 100 * (prediction.iteration_time / baseline - 1)
+        print(f"{network:<12} {prediction.iteration_time:>9.4f} "
+              f"{delta:>+7.3f}% "
+              f"{1e3 * probe:>18.2f}  {algorithm}")
+
+    print("\nThe flat pipe and the rail-optimized fabric agree closely — "
+          "rails keep every HCA on its own non-blocking switch, which is "
+          "exactly the assumption Equation 1 bakes in. Oversubscribing "
+          "the fat-tree uplinks starves the inter-node rings, and the "
+          "topology model surfaces the slowdown the flat model cannot "
+          "see (plus the switch-hop latency every real fabric pays).")
+
+
+if __name__ == "__main__":
+    main()

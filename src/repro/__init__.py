@@ -16,11 +16,13 @@ Quickstart::
     print(estimate.as_row())
 """
 
-from repro.config import (InputDescription, ModelConfig, ParallelismConfig,
-                          PipelineSchedule, RecomputeMode, SystemConfig,
-                          TrainingConfig, multi_node, single_node)
+from repro.config import (InputDescription, ModelConfig, NetworkSpec,
+                          ParallelismConfig, PipelineSchedule, RecomputeMode,
+                          SystemConfig, TrainingConfig, multi_node,
+                          single_node)
 from repro.dse import DesignSpaceExplorer, SearchSpace
 from repro.graph.builder import Granularity
+from repro.network import TopologyAwareNcclModel, nccl_model_for
 from repro.sim.estimator import VTrain
 from repro.sim.results import (IterationPrediction, SimulationResult,
                                TrainingEstimate)
@@ -34,6 +36,7 @@ __all__ = [
     "InputDescription",
     "IterationPrediction",
     "ModelConfig",
+    "NetworkSpec",
     "ParallelismConfig",
     "PipelineSchedule",
     "RecomputeMode",
@@ -41,10 +44,12 @@ __all__ = [
     "SimulationResult",
     "SystemConfig",
     "TestbedEmulator",
+    "TopologyAwareNcclModel",
     "TrainingConfig",
     "TrainingEstimate",
     "VTrain",
     "multi_node",
+    "nccl_model_for",
     "single_node",
     "__version__",
 ]

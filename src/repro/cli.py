@@ -23,7 +23,7 @@ from repro.config.description import InputDescription
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
 from repro.config.presets import MODEL_ZOO
-from repro.config.system import multi_node
+from repro.config.system import NetworkSpec, multi_node
 from repro.dse.cache import PredictionCache
 from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.report import save_csv, to_markdown
@@ -78,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="candidate micro-batch sizes (default: 1 2 4 8 16)")
     dse.add_argument("--gpus-per-node", type=int, default=8,
                      help="GPUs per server node (default: 8)")
+    dse.add_argument("--network", default="flat", metavar="SPEC",
+                     help="inter-node fabric model: 'flat' (the paper's "
+                          "Equation-1 aggregate pipe; default), 'rail' "
+                          "(rail-optimized, one switch per HCA rail) or "
+                          "'fat-tree:<ratio>' (2-level fat tree with the "
+                          "given uplink oversubscription, e.g. "
+                          "fat-tree:4)")
     dse.add_argument("--granularity", default="stage",
                      choices=[g.value for g in Granularity],
                      help="graph detail level (stage is the fast sweep "
@@ -155,6 +162,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 def _cmd_dse(args: argparse.Namespace) -> int:
     model = _preset_by_key(args.model)
+    NetworkSpec.parse(args.network)  # reject bad specs before sweeping
     training = TrainingConfig(global_batch_size=args.global_batch,
                               total_tokens=args.total_tokens)
     space = SearchSpace(max_tensor=args.max_tensor, max_data=args.max_data,
@@ -172,7 +180,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
     explorer = DesignSpaceExplorer(model, training,
                                    gpus_per_node=args.gpus_per_node,
-                                   granularity=Granularity(args.granularity))
+                                   granularity=Granularity(args.granularity),
+                                   network=args.network)
     result = explorer.explore(space=space, num_gpus=args.num_gpus,
                               max_gpus=args.max_gpus, workers=args.workers,
                               cache=cache, checkpoint_path=args.checkpoint,

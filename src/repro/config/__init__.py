@@ -6,12 +6,14 @@ from repro.config.parallelism import (ParallelismConfig, PipelineSchedule,
                                       RecomputeMode, TrainingConfig,
                                       layers_per_stage, num_micro_batches,
                                       validate_plan)
-from repro.config.system import SystemConfig, multi_node, single_node
+from repro.config.system import (NetworkSpec, SystemConfig, multi_node,
+                                 single_node)
 
 __all__ = [
     "DEFAULT_VOCAB_SIZE",
     "InputDescription",
     "ModelConfig",
+    "NetworkSpec",
     "ParallelismConfig",
     "PipelineSchedule",
     "RecomputeMode",

@@ -11,6 +11,7 @@ four 200 Gbps InfiniBand HCAs in a two-level non-blocking fat tree.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
@@ -18,6 +19,66 @@ from repro.errors import ConfigError
 from repro.hardware.gpu import A100_80GB, GPUSpec, gpu_by_name
 
 GBPS = 1e9 / 8.0  # 1 Gbit/s in bytes/s
+
+#: Network kinds understood by :class:`NetworkSpec` (and the
+#: ``repro dse --network`` flag). ``flat`` is the paper's Equation-1
+#: aggregate-pipe model; the others select a topology-aware backend from
+#: :mod:`repro.network`.
+NETWORK_KINDS = ("flat", "rail", "fat-tree")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Parsed form of a ``network`` string (``flat``, ``rail``,
+    ``fat-tree`` or ``fat-tree:<ratio>``).
+
+    Attributes:
+        kind: One of :data:`NETWORK_KINDS`.
+        oversubscription: Fat-tree uplink oversubscription ratio (1.0 is
+            non-blocking; 4.0 means each leaf's uplink capacity is a
+            quarter of its downlink capacity). Always 1.0 for ``flat``
+            and ``rail``.
+    """
+
+    kind: str
+    oversubscription: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NETWORK_KINDS:
+            raise ConfigError(
+                f"unknown network kind {self.kind!r} "
+                f"(expected one of {', '.join(NETWORK_KINDS)})")
+        if not (math.isfinite(self.oversubscription)
+                and self.oversubscription >= 1.0):
+            raise ConfigError(
+                "oversubscription ratio must be a finite value >= 1.0")
+        if self.kind != "fat-tree" and self.oversubscription != 1.0:
+            raise ConfigError(
+                f"{self.kind!r} networks take no oversubscription ratio")
+
+    @classmethod
+    def parse(cls, spec: str) -> "NetworkSpec":
+        """Parse a network spec string (the CLI / config-file syntax)."""
+        if not isinstance(spec, str) or not spec:
+            raise ConfigError(f"invalid network spec {spec!r}")
+        kind, _, ratio = spec.partition(":")
+        if not ratio:
+            return cls(kind=kind)
+        if kind != "fat-tree":
+            raise ConfigError(
+                f"only fat-tree networks take a ratio, got {spec!r}")
+        try:
+            oversubscription = float(ratio)
+        except ValueError as exc:
+            raise ConfigError(
+                f"invalid oversubscription ratio in {spec!r}") from exc
+        return cls(kind=kind, oversubscription=oversubscription)
+
+    def canonical(self) -> str:
+        """The spec string this parses back from."""
+        if self.kind == "fat-tree" and self.oversubscription != 1.0:
+            return f"fat-tree:{self.oversubscription:g}"
+        return self.kind
 
 
 @dataclass(frozen=True)
@@ -36,6 +97,16 @@ class SystemConfig:
             the effective inter-node bandwidth is ``alpha * max bandwidth``.
             The paper found alpha = 1.0 minimised error on its cluster.
         intranode_latency: Base latency of one NVLink/NVSwitch transfer.
+        nics_per_node: InfiniBand HCAs per node. ``internode_bandwidth``
+            is the node aggregate, so one HCA carries
+            ``internode_bandwidth / nics_per_node`` (the paper's cluster:
+            four 200 Gbps HDR HCAs).
+        network: Inter-node fabric spec — ``flat`` (the paper's
+            Equation-1 aggregate pipe), ``rail`` (rail-optimized,
+            NVSwitch + one non-blocking switch per HCA rail) or
+            ``fat-tree:<ratio>`` (2-level fat tree with the given
+            uplink oversubscription). Non-flat specs route collectives
+            through :mod:`repro.network`.
     """
 
     num_gpus: int
@@ -45,6 +116,8 @@ class SystemConfig:
     internode_latency: float = 5e-6
     bandwidth_effectiveness: float = 1.0
     intranode_latency: float = 3e-6
+    nics_per_node: int = 4
+    network: str = "flat"
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
@@ -59,6 +132,13 @@ class SystemConfig:
             raise ConfigError("bandwidth_effectiveness must be in (0, 1]")
         if self.internode_bandwidth <= 0:
             raise ConfigError("internode_bandwidth must be positive")
+        if self.nics_per_node <= 0:
+            raise ConfigError("nics_per_node must be positive")
+        # Reject bad specs eagerly and store the canonical spelling
+        # ("fat-tree:1" -> "fat-tree") so equal fabrics compare equal and
+        # serialization round-trips.
+        object.__setattr__(self, "network",
+                           NetworkSpec.parse(self.network).canonical())
 
     @property
     def num_nodes(self) -> int:
@@ -69,6 +149,16 @@ class SystemConfig:
     def effective_internode_bandwidth(self) -> float:
         """``alpha * Bmax`` — the Equation-1 effective bandwidth."""
         return self.bandwidth_effectiveness * self.internode_bandwidth
+
+    @property
+    def nic_bandwidth(self) -> float:
+        """Effective bandwidth of one HCA (alpha applied, per rail)."""
+        return self.effective_internode_bandwidth / self.nics_per_node
+
+    @property
+    def network_spec(self) -> NetworkSpec:
+        """Parsed form of the ``network`` field."""
+        return NetworkSpec.parse(self.network)
 
     def peak_system_flops(self) -> float:
         """Aggregate peak FP16 throughput across all GPUs (FLOP/s)."""
@@ -85,8 +175,16 @@ class SystemConfig:
                 f"{self.internode_bandwidth / GBPS:.0f} Gbps inter-node)")
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form; the GPU is stored by its registry name."""
-        return {
+        """Plain-dict form; the GPU is stored by its registry name.
+
+        ``nics_per_node`` and ``network`` are emitted only when they
+        differ from their defaults: the dict feeds the prediction-cache
+        fingerprint (:func:`repro.dse.cache.fingerprint`), and a default
+        ``flat``/4-HCA system must keep producing the exact payload it
+        produced before these fields existed, so caches written by
+        earlier versions stay valid.
+        """
+        payload = {
             "num_gpus": self.num_gpus,
             "gpus_per_node": self.gpus_per_node,
             "gpu": self.gpu.name,
@@ -95,6 +193,11 @@ class SystemConfig:
             "bandwidth_effectiveness": self.bandwidth_effectiveness,
             "intranode_latency": self.intranode_latency,
         }
+        if self.nics_per_node != 4:
+            payload["nics_per_node"] = self.nics_per_node
+        if self.network != "flat":
+            payload["network"] = self.network  # canonical since __post_init__
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SystemConfig":
@@ -114,9 +217,16 @@ def single_node(gpus_per_node: int = 8, gpu: GPUSpec = A100_80GB) -> SystemConfi
 
 
 def multi_node(num_nodes: int, gpus_per_node: int = 8,
-               gpu: GPUSpec = A100_80GB) -> SystemConfig:
-    """A fat-tree cluster of ``num_nodes`` nodes (Fig. 9b uses 64)."""
+               gpu: GPUSpec = A100_80GB,
+               network: str = "flat") -> SystemConfig:
+    """A cluster of ``num_nodes`` nodes (Fig. 9b uses 64).
+
+    ``network`` selects the inter-node fabric model (``flat``, ``rail``
+    or ``fat-tree:<ratio>``); ``flat`` reproduces the paper's Equation-1
+    aggregate-pipe behavior exactly.
+    """
     if num_nodes <= 0:
         raise ConfigError("num_nodes must be positive")
     return SystemConfig(num_gpus=num_nodes * gpus_per_node,
-                        gpus_per_node=gpus_per_node, gpu=gpu)
+                        gpus_per_node=gpus_per_node, gpu=gpu,
+                        network=network)

@@ -183,6 +183,10 @@ class DesignSpaceExplorer:
         training: Batch/token recipe.
         gpus_per_node: Node size used to derive per-plan systems.
         granularity: Graph granularity (STAGE recommended for sweeps).
+        network: Inter-node fabric spec for derived systems (``flat``,
+            ``rail`` or ``fat-tree:<ratio>``); ``flat`` reproduces the
+            paper's Equation-1 model exactly. Ignored when a custom
+            ``system_factory`` is given.
         system_factory: Override how a plan's GPU count becomes a
             :class:`SystemConfig` (e.g. to change interconnects).
     """
@@ -190,19 +194,22 @@ class DesignSpaceExplorer:
     def __init__(self, model: ModelConfig, training: TrainingConfig, *,
                  gpus_per_node: int = 8,
                  granularity: Granularity = Granularity.STAGE,
+                 network: str = "flat",
                  system_factory: Callable[[int], SystemConfig] | None = None,
                  ) -> None:
         self.model = model
         self.training = training
         self.gpus_per_node = gpus_per_node
         self.granularity = granularity
+        self.network = network
         self.has_custom_system_factory = system_factory is not None
         self._system_factory = system_factory or self._default_system
         self._simulators: dict[int, VTrain] = {}
 
     def _default_system(self, num_gpus: int) -> SystemConfig:
         nodes = max(1, -(-num_gpus // self.gpus_per_node))
-        return multi_node(nodes, gpus_per_node=self.gpus_per_node)
+        return multi_node(nodes, gpus_per_node=self.gpus_per_node,
+                          network=self.network)
 
     def system_for(self, num_gpus: int) -> SystemConfig:
         """The system a plan occupying ``num_gpus`` GPUs runs on (the
@@ -267,6 +274,7 @@ class DesignSpaceExplorer:
                 workers=workers if workers is not None else 1,
                 gpus_per_node=self.gpus_per_node,
                 granularity=self.granularity,
+                network=self.network,
                 system_factory=(self._system_factory
                                 if self.has_custom_system_factory else None),
                 cache=cache, checkpoint_path=checkpoint_path,

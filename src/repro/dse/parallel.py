@@ -52,7 +52,7 @@ _WORKER_EXPLORER: DesignSpaceExplorer | None = None
 
 
 def _init_worker(model_dict: dict[str, Any], training_dict: dict[str, Any],
-                 gpus_per_node: int, granularity_value: str,
+                 gpus_per_node: int, granularity_value: str, network: str,
                  system_factory: Callable[[int], SystemConfig] | None,
                  ) -> None:
     """Build this worker's long-lived explorer from serialized configs."""
@@ -62,6 +62,7 @@ def _init_worker(model_dict: dict[str, Any], training_dict: dict[str, Any],
         TrainingConfig.from_dict(training_dict),
         gpus_per_node=gpus_per_node,
         granularity=Granularity(granularity_value),
+        network=network,
         system_factory=system_factory)
 
 
@@ -89,6 +90,9 @@ class ParallelExplorer:
             cache-aware); ``None`` uses the machine's CPU count.
         gpus_per_node: Node size used to derive per-plan systems.
         granularity: Graph granularity (STAGE recommended for sweeps).
+        network: Inter-node fabric spec for derived systems (``flat``,
+            ``rail`` or ``fat-tree:<ratio>``); ignored when a custom
+            ``system_factory`` is given.
         system_factory: Override how a plan's GPU count becomes a
             :class:`SystemConfig`. Must be picklable (a module-level
             function) when ``workers > 1``.
@@ -109,6 +113,7 @@ class ParallelExplorer:
                  workers: int | None = None,
                  gpus_per_node: int = 8,
                  granularity: Granularity = Granularity.STAGE,
+                 network: str = "flat",
                  system_factory: Callable[[int], SystemConfig] | None = None,
                  cache: PredictionCache | None = None,
                  checkpoint_path: str | Path | None = None,
@@ -128,6 +133,7 @@ class ParallelExplorer:
                                                             or 1)
         self.gpus_per_node = gpus_per_node
         self.granularity = granularity
+        self.network = network
         self.cache = cache if cache is not None else PredictionCache()
         self.checkpoint_path = (Path(checkpoint_path)
                                 if checkpoint_path is not None else None)
@@ -139,7 +145,8 @@ class ParallelExplorer:
         # evaluates in-process when workers == 1.
         self._serial = DesignSpaceExplorer(
             model, training, gpus_per_node=gpus_per_node,
-            granularity=granularity, system_factory=system_factory)
+            granularity=granularity, network=network,
+            system_factory=system_factory)
 
     # ------------------------------------------------------------------
     # Public API
@@ -208,7 +215,7 @@ class ParallelExplorer:
     def _run_pool(self, chunks, points, total) -> None:
         init_args = (self.model.to_dict(), self.training.to_dict(),
                      self.gpus_per_node, self.granularity.value,
-                     self._system_factory)
+                     self.network, self._system_factory)
         max_workers = min(self.workers, len(chunks))
         done = total - sum(len(chunk) for chunk in chunks)
         with concurrent.futures.ProcessPoolExecutor(

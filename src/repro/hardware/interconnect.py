@@ -71,6 +71,13 @@ class RingParameters:
         return self.allgather_time(size_bytes, group_size)
 
 
+#: Lower bound on NVLink ring efficiency. The linear protocol-overhead
+#: term is fit to 8–16 GPU NVSwitch domains; without a floor it would
+#: degrade without bound (and go negative past 200 GPUs) on large
+#: NVL-domain systems.
+NVLINK_EFFICIENCY_FLOOR = 0.5
+
+
 def nvlink_ring(system: "SystemConfig", group_size: int) -> RingParameters:
     """NVLink/NVSwitch ring parameters for an intra-node group.
 
@@ -78,11 +85,14 @@ def nvlink_ring(system: "SystemConfig", group_size: int) -> RingParameters:
     the ring grows (protocol overhead grows with ring length); a 2-GPU
     "ring" is direct P2P and slightly more efficient. The resulting 8-GPU
     All-Reduce busbw (~230 GB/s on A100/NVSwitch) matches published
-    nccl-tests numbers, which is what the paper profiles.
+    nccl-tests numbers, which is what the paper profiles. Efficiency is
+    clamped at :data:`NVLINK_EFFICIENCY_FLOOR` for very large domains.
     """
     if group_size < 1:
         raise ConfigError("group_size must be >= 1")
-    efficiency = 0.88 if group_size <= 2 else 0.80 - 0.004 * (group_size - 2)
+    efficiency = (0.88 if group_size <= 2
+                  else max(NVLINK_EFFICIENCY_FLOOR,
+                           0.80 - 0.004 * (group_size - 2)))
     return RingParameters(
         bus_bandwidth=system.gpu.nvlink_bandwidth * efficiency,
         base_latency=system.intranode_latency,
@@ -109,8 +119,9 @@ def p2p_time(system: "SystemConfig", size_bytes: float,
     """Point-to-point Send-Receive latency (pipeline-stage boundaries).
 
     The paper notes P2P exchanges are "less sensitive to the interconnect
-    bandwidth"; an inter-node P2P rides a single HCA (a quarter of the
-    node's aggregate), an intra-node P2P rides NVLink.
+    bandwidth"; an inter-node P2P rides a single HCA
+    (``internode_bandwidth / nics_per_node``), an intra-node P2P rides
+    NVLink.
     """
     if size_bytes < 0:
         raise ConfigError("size_bytes must be non-negative")
@@ -120,7 +131,7 @@ def p2p_time(system: "SystemConfig", size_bytes: float,
         bandwidth = system.gpu.nvlink_bandwidth * 0.88
         latency = system.intranode_latency
     else:
-        bandwidth = system.effective_internode_bandwidth / 4.0
+        bandwidth = system.nic_bandwidth
         latency = system.internode_latency
     return size_bytes / bandwidth + latency
 

@@ -1,0 +1,51 @@
+"""Topology-aware network & collective-algorithm subsystem.
+
+Models the inter-node fabric as an explicit graph (NVSwitch nodes,
+rail-optimized fabrics, oversubscribed fat trees), costs collectives by
+walking routed paths with per-link contention counting, auto-selects
+among ring / binomial-tree / two-level hierarchical algorithms the way
+NCCL's tuning does, and packages the whole thing as
+:class:`TopologyAwareNcclModel` — a drop-in behind the flat
+:class:`~repro.profiling.nccl.NcclModel` selected per system via
+``SystemConfig.network`` (``flat`` / ``rail`` / ``fat-tree:<ratio>``).
+"""
+
+from repro.network.collectives import (Flow, flat_ring_lower_bound,
+                                       hierarchical_allreduce_time,
+                                       ring_allgather_time,
+                                       ring_allreduce_time,
+                                       ring_reduce_scatter_time,
+                                       transfer_time, tree_allreduce_time)
+from repro.network.model import (GroupPlacement, TopologyAwareNcclModel,
+                                 nccl_model_for, place_group)
+from repro.network.selection import (CollectiveAlgorithm, select_algorithm,
+                                     tree_threshold)
+from repro.network.topology import (FatTreeTopology, Link,
+                                    NvSwitchNodeTopology,
+                                    RailOptimizedTopology, Topology,
+                                    build_topology, gpu_id)
+
+__all__ = [
+    "CollectiveAlgorithm",
+    "FatTreeTopology",
+    "Flow",
+    "GroupPlacement",
+    "Link",
+    "NvSwitchNodeTopology",
+    "RailOptimizedTopology",
+    "Topology",
+    "TopologyAwareNcclModel",
+    "build_topology",
+    "flat_ring_lower_bound",
+    "gpu_id",
+    "hierarchical_allreduce_time",
+    "nccl_model_for",
+    "place_group",
+    "ring_allgather_time",
+    "ring_allreduce_time",
+    "ring_reduce_scatter_time",
+    "select_algorithm",
+    "transfer_time",
+    "tree_allreduce_time",
+    "tree_threshold",
+]

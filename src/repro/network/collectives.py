@@ -1,0 +1,230 @@
+"""Collective algorithms costed by walking routed topology paths.
+
+Every algorithm here is costed the same way: build the set of flows
+(routed source→destination paths plus a payload) that are on the wire
+*concurrently*, charge each link for the flows crossing it — a link of
+bandwidth ``B`` carrying ``k`` concurrent flows delivers ``B / k`` to
+each — and take the slowest flow as the step time. Serial steps then sum.
+This is the link-level contention model Echo and Charon argue is needed
+for accurate large-scale collectives, applied to the three algorithms
+NCCL actually runs:
+
+* **Ring** — ``2(n-1)`` steps of neighbor exchange, payload split over
+  ``channels`` parallel rings (NCCL channels map onto HCA rails, which
+  is how a multi-rail node reaches its aggregate bandwidth).
+* **Binomial tree** — a reduce sweep up and a broadcast sweep down,
+  ``2·ceil(log2 n)`` rounds of full-payload hops; latency-optimal, so it
+  wins for small payloads.
+* **Two-level hierarchical** (NCCL's multi-node All-Reduce): intra-node
+  reduce-scatter over NVLink, one inter-node ring per local rank over
+  its own rail, intra-node all-gather.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.interconnect import RingParameters, log2_ceil
+from repro.network.topology import Link, Topology
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One concurrent transfer: a routed path and its payload."""
+
+    links: tuple[Link, ...]
+    size_bytes: float
+
+
+def transfer_time(flows: list[Flow]) -> float:
+    """Completion time of a set of concurrent flows.
+
+    Each link is shared equally among the flows crossing it; a flow's
+    bandwidth is its bottleneck share along the path, its time is
+    payload over bandwidth plus the path's summed link latencies, and
+    the transfer finishes when the slowest flow does.
+    """
+    load: Counter[Link] = Counter()
+    for flow in flows:
+        load.update(flow.links)
+    worst = 0.0
+    for flow in flows:
+        latency = sum(link.latency for link in flow.links)
+        if flow.links and flow.size_bytes > 0:
+            bandwidth = min(link.bandwidth / load[link]
+                            for link in flow.links)
+            worst = max(worst, flow.size_bytes / bandwidth + latency)
+        else:
+            worst = max(worst, latency)
+    return worst
+
+
+def _ring_step_flows(topology: Topology, gpus: list[str],
+                     chunk_bytes: float, channels: int) -> list[Flow]:
+    """Flows of one ring step: every member sends a chunk to its
+    successor, simultaneously on every channel."""
+    count = len(gpus)
+    flows = []
+    for channel in range(channels):
+        for index in range(count):
+            path = topology.route(gpus[index], gpus[(index + 1) % count],
+                                  channel=channel)
+            flows.append(Flow(tuple(path), chunk_bytes))
+    return flows
+
+
+def _check_group(gpus: list[str]) -> None:
+    if len(set(gpus)) != len(gpus):
+        raise ConfigError("collective group has repeated members")
+
+
+def ring_allreduce_time(topology: Topology, gpus: list[str],
+                        size_bytes: float, *, channels: int = 1) -> float:
+    """Ring All-Reduce: ``2(n-1)`` neighbor-exchange steps.
+
+    The payload is striped over ``channels`` concurrent rings (rail
+    ``c`` carries ``size/channels``); within each ring a step moves one
+    ``1/n`` chunk per member. All steps are identical by symmetry, so
+    the total is ``2(n-1)`` times the contention-costed step.
+    """
+    _check_group(gpus)
+    count = len(gpus)
+    if count <= 1 or size_bytes <= 0:
+        return 0.0
+    if channels < 1:
+        raise ConfigError("channels must be >= 1")
+    chunk = size_bytes / channels / count
+    step = transfer_time(_ring_step_flows(topology, gpus, chunk, channels))
+    return 2 * (count - 1) * step
+
+
+def ring_allgather_time(topology: Topology, gpus: list[str],
+                        size_bytes: float, *, channels: int = 1) -> float:
+    """Ring All-Gather: ``n-1`` steps, each member forwarding one chunk."""
+    _check_group(gpus)
+    count = len(gpus)
+    if count <= 1 or size_bytes <= 0:
+        return 0.0
+    if channels < 1:
+        raise ConfigError("channels must be >= 1")
+    chunk = size_bytes / channels / count
+    step = transfer_time(_ring_step_flows(topology, gpus, chunk, channels))
+    return (count - 1) * step
+
+
+def ring_reduce_scatter_time(topology: Topology, gpus: list[str],
+                             size_bytes: float, *,
+                             channels: int = 1) -> float:
+    """Ring Reduce-Scatter (same wire traffic as All-Gather)."""
+    return ring_allgather_time(topology, gpus, size_bytes,
+                               channels=channels)
+
+
+def tree_allreduce_time(topology: Topology, gpus: list[str],
+                        size_bytes: float, *, channels: int = 1) -> float:
+    """Binomial-tree All-Reduce: reduce up, broadcast down.
+
+    Round ``k`` of the reduce pairs members ``2^k`` apart; each pair
+    exchanges the full (per-channel) payload. The broadcast mirrors the
+    reduce, so the total is twice the summed round times — ``2·ceil(log2
+    n)`` rounds against the ring's ``2(n-1)`` steps, which is why tree
+    wins when latency dominates.
+    """
+    _check_group(gpus)
+    count = len(gpus)
+    if count <= 1 or size_bytes <= 0:
+        return 0.0
+    if channels < 1:
+        raise ConfigError("channels must be >= 1")
+    payload = size_bytes / channels
+    total = 0.0
+    for round_index in range(log2_ceil(count)):
+        distance = 1 << round_index
+        flows = []
+        for channel in range(channels):
+            for receiver in range(0, count, 2 * distance):
+                sender = receiver + distance
+                if sender < count:
+                    path = topology.route(gpus[sender], gpus[receiver],
+                                          channel=channel)
+                    flows.append(Flow(tuple(path), payload))
+        total += transfer_time(flows)
+    return 2 * total
+
+
+def hierarchical_allreduce_time(topology: Topology,
+                                node_slots: list[list[str]],
+                                size_bytes: float, *,
+                                intra_ring: RingParameters,
+                                intra_interference: float = 1.0,
+                                channels: int = 1) -> float:
+    """NCCL-style two-level All-Reduce over ``node_slots``.
+
+    ``node_slots[n][s]`` is the GPU of local rank (slot) ``s`` on the
+    ``n``-th participating node. Three phases:
+
+    1. intra-node reduce-scatter of the payload over the local ranks
+       (NVLink ring, from ``intra_ring``, scaled by
+       ``intra_interference`` like every intra-node collective);
+    2. concurrent inter-node rings — slot ``s`` All-Reduces its
+       ``size/L`` shard across nodes on channel ``s`` (its own rail;
+       slots sharing a rail contend, which the link-level counting
+       charges automatically);
+    3. intra-node all-gather of the reduced shards.
+
+    Slot counts may be ragged (a group that does not divide evenly
+    across its nodes): a slot's ring simply spans the nodes that have
+    it, and the intra phases are costed at the largest local group.
+    Single-node groups never reach this function — the topology-aware
+    model keeps them on the profiled NVLink table, which this
+    decomposition reduces to exactly (phase 2 vanishes and phases 1+3
+    are the table's ring).
+    """
+    del channels  # phase 2 parallelism is one ring per local slot
+    num_nodes = len(node_slots)
+    if num_nodes < 2:
+        raise ConfigError(
+            "hierarchical All-Reduce needs >= 2 nodes; single-node groups "
+            "use the profiled NVLink table")
+    if intra_interference < 1.0:
+        raise ConfigError("intra_interference must be >= 1.0")
+    local = max(len(slots) for slots in node_slots)
+    if any(not slots for slots in node_slots):
+        raise ConfigError("every node must contribute at least one slot")
+    _check_group([gpu for slots in node_slots for gpu in slots])
+    if size_bytes <= 0:
+        return 0.0
+
+    intra = 0.0
+    if local > 1:
+        intra = (intra_ring.reduce_scatter_time(size_bytes, local)
+                 + intra_ring.allgather_time(size_bytes, local)
+                 ) * intra_interference
+
+    shard = size_bytes / local
+    flows = []
+    for slot in range(local):
+        ring = [slots[slot] for slots in node_slots if slot < len(slots)]
+        if len(ring) < 2:
+            continue  # this shard lives on one node; nothing inter-node
+        chunk = shard / len(ring)
+        for index in range(len(ring)):
+            path = topology.route(ring[index],
+                                  ring[(index + 1) % len(ring)],
+                                  channel=slot)
+            flows.append(Flow(tuple(path), chunk))
+    inter = 2 * (num_nodes - 1) * transfer_time(flows)
+    return intra + inter
+
+
+def flat_ring_lower_bound(bandwidth: float, size_bytes: float,
+                          group_size: int) -> float:
+    """Equation-1 transfer term ``S/B · 2(n-1)/n`` — the latency-free
+    flat-ring time, a lower bound for any algorithm on an uncontended
+    topology whose aggregate per-node egress is ``bandwidth``."""
+    if group_size <= 1 or size_bytes <= 0:
+        return 0.0
+    return (size_bytes / bandwidth
+            * 2.0 * (group_size - 1) / group_size)

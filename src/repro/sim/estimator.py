@@ -27,6 +27,7 @@ from repro.graph.builder import Granularity, GraphBuilder
 from repro.graph.structure import ExecutionGraph
 from repro.hardware.kernels import DeviceModel
 from repro.memory.footprint import check_memory, memory_footprint
+from repro.network.model import nccl_model_for
 from repro.profiling.cupti import CuptiTracer
 from repro.profiling.lookup import OperatorToTaskTable
 from repro.profiling.nccl import NcclModel
@@ -46,6 +47,11 @@ class VTrain:
         device: Override the analytical device model (e.g. a testbed's
             perturbed model).
         nccl: Override the communication model (e.g. with interference).
+            When omitted, the model follows ``system.network``: the flat
+            Equation-1 :class:`NcclModel` for ``flat`` (the default,
+            bit-identical to prior behavior) or a
+            :class:`~repro.network.model.TopologyAwareNcclModel` for
+            ``rail`` / ``fat-tree:<ratio>`` fabrics.
         check_memory_feasibility: Reject plans that exceed GPU memory.
         zero1_sharding: Assume ZeRO-1 optimizer-state sharding across
             data-parallel ranks in the memory model.
@@ -62,7 +68,7 @@ class VTrain:
         self.device = device if device is not None else DeviceModel(system.gpu)
         self.tracer = CuptiTracer(self.device)
         self.lookup = OperatorToTaskTable(self.tracer)
-        self.nccl = nccl if nccl is not None else NcclModel(system)
+        self.nccl = nccl if nccl is not None else nccl_model_for(system)
         self.check_memory_feasibility = check_memory_feasibility
         self.zero1_sharding = zero1_sharding
         self.num_predictions = 0

@@ -90,6 +90,19 @@ class TestDse:
         with pytest.raises(SystemExit):
             main(["dse", "megatron-1.7b"])
 
+    def test_dse_network_flag_sweeps_topology_backend(self, capsys):
+        assert main(self.ARGS + ["--network", "rail"]) == 0
+        out = capsys.readouterr().out
+        assert "fastest plan" in out
+
+    def test_dse_network_flag_accepts_fat_tree_ratio(self, capsys):
+        assert main(self.ARGS + ["--network", "fat-tree:4"]) == 0
+        assert "fastest plan" in capsys.readouterr().out
+
+    def test_dse_rejects_bad_network_spec(self, capsys):
+        assert main(self.ARGS + ["--network", "torus"]) == 1
+        assert "error" in capsys.readouterr().err
+
 
 class TestExampleAndPresets:
     def test_example_round_trips_through_predict(self, tmp_path, capsys):

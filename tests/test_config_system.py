@@ -55,3 +55,40 @@ class TestSystemConfig:
         text = multi_node(2, gpu=A100_40GB).describe()
         assert "A100-SXM4-40GB" in text
         assert "2 nodes" in text
+
+
+class TestNetworkFields:
+    def test_defaults_are_flat_four_hca(self):
+        system = multi_node(2)
+        assert system.nics_per_node == 4
+        assert system.network == "flat"
+        assert system.nic_bandwidth == pytest.approx(
+            system.effective_internode_bandwidth / 4)
+
+    def test_multi_node_threads_network(self):
+        assert multi_node(2, network="rail").network_spec.kind == "rail"
+        assert multi_node(2, network="fat-tree:4").network_spec \
+            .oversubscription == 4.0
+
+    def test_rejects_bad_network(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_gpus=16, network="torus")
+
+    def test_rejects_bad_nics(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_gpus=16, nics_per_node=0)
+
+    def test_to_dict_omits_defaults_for_cache_stability(self):
+        """Default systems must serialize exactly as they did before
+        these fields existed, so PR-1 prediction caches stay valid."""
+        payload = multi_node(2).to_dict()
+        assert "network" not in payload
+        assert "nics_per_node" not in payload
+
+    def test_to_dict_round_trips_non_defaults(self):
+        system = SystemConfig(num_gpus=16, nics_per_node=8,
+                              network="fat-tree:2")
+        payload = system.to_dict()
+        assert payload["nics_per_node"] == 8
+        assert payload["network"] == "fat-tree:2"
+        assert SystemConfig.from_dict(payload) == system

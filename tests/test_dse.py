@@ -134,6 +134,31 @@ class TestExplorer:
         assert times == sorted(times)
         assert costs == sorted(costs, reverse=True)
 
+    def test_network_threads_into_derived_systems(self, model, training):
+        space = SearchSpace(max_tensor=4, max_data=4, max_pipeline=2,
+                            micro_batch_sizes=(1,))
+        flat = DesignSpaceExplorer(model, training).explore(
+            num_gpus=16, space=space)
+        rail = DesignSpaceExplorer(model, training, network="rail").explore(
+            num_gpus=16, space=space)
+        assert [p.plan for p in rail.points] == [p.plan for p in flat.points]
+        assert rail.num_feasible == flat.num_feasible
+        assert any(r.iteration_time != f.iteration_time
+                   for r, f in zip(rail.feasible_points,
+                                   flat.feasible_points))
+
+    def test_network_parallel_engine_matches_serial(self, model, training):
+        from repro.dse.parallel import ParallelExplorer
+        space = SearchSpace(max_tensor=4, max_data=4, max_pipeline=2,
+                            micro_batch_sizes=(1,))
+        serial = DesignSpaceExplorer(
+            model, training, network="fat-tree:4").explore(
+            num_gpus=16, space=space)
+        parallel = ParallelExplorer(
+            model, training, workers=2, network="fat-tree:4").explore(
+            num_gpus=16, space=space)
+        assert parallel.points == serial.points
+
     def test_heatmap_keys_are_ways(self, model, training):
         explorer = DesignSpaceExplorer(model, training)
         result = explorer.explore(max_gpus=8)

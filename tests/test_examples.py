@@ -31,6 +31,13 @@ class TestFastExamples:
         assert "A100-SXM4-80GB" in out
         assert "H100" in out
 
+    def test_topology_whatif(self, capsys):
+        load_example("topology_whatif").main()
+        out = capsys.readouterr().out
+        assert "rail" in out
+        assert "fat-tree:8" in out
+        assert "hierarchical" in out or "ring" in out
+
     @pytest.mark.slow
     def test_quickstart(self, capsys):
         load_example("quickstart").main()

@@ -2,11 +2,14 @@
 
 import pytest
 
-from repro.config.system import single_node, multi_node
+from dataclasses import replace
+
+from repro.config.system import SystemConfig, single_node, multi_node
 from repro.errors import ConfigError
-from repro.hardware.interconnect import (LinkType, RingParameters,
-                                         infiniband_ring, log2_ceil,
-                                         nvlink_ring, p2p_time, ring_hops)
+from repro.hardware.interconnect import (NVLINK_EFFICIENCY_FLOOR, LinkType,
+                                         RingParameters, infiniband_ring,
+                                         log2_ceil, nvlink_ring, p2p_time,
+                                         ring_hops)
 
 
 class TestRingParameters:
@@ -67,11 +70,40 @@ class TestLinkFactories:
         ring = infiniband_ring(base)
         assert ring.bus_bandwidth == pytest.approx(100e9)  # 800 Gbps
 
+    def test_nvlink_efficiency_clamped_for_large_domains(self):
+        """Regression: the linear overhead term must not degrade without
+        bound (it went negative past ~200 GPUs before the clamp)."""
+        system = replace(single_node(), num_gpus=256, gpus_per_node=256)
+        ring = nvlink_ring(system, 256)
+        assert ring.bus_bandwidth == pytest.approx(
+            system.gpu.nvlink_bandwidth * NVLINK_EFFICIENCY_FLOOR)
+        assert ring.allreduce_time(1 << 30, 256) > 0.0
+
+    def test_nvlink_efficiency_unchanged_below_floor(self):
+        """The clamp must not move the profiled 8-GPU operating point."""
+        ring = nvlink_ring(single_node(), 8)
+        expected = 0.80 - 0.004 * 6
+        assert ring.bus_bandwidth == pytest.approx(
+            single_node().gpu.nvlink_bandwidth * expected)
+
     def test_p2p_internode_uses_single_hca(self):
         system = multi_node(2)
         inter = p2p_time(system, 1 << 30, LinkType.INTER_NODE)
         intra = p2p_time(system, 1 << 30, LinkType.INTRA_NODE)
         assert inter > intra  # one HCA << NVLink
+
+    def test_p2p_bandwidth_derived_from_nics_per_node(self):
+        """Regression: per-HCA bandwidth is aggregate / nics_per_node,
+        not a hard-coded quarter."""
+        four = multi_node(2)
+        eight = SystemConfig(num_gpus=16, nics_per_node=8)
+        size = 1 << 30
+        t4 = p2p_time(four, size, LinkType.INTER_NODE)
+        t8 = p2p_time(eight, size, LinkType.INTER_NODE)
+        assert t4 == pytest.approx(
+            size / (four.effective_internode_bandwidth / 4)
+            + four.internode_latency)
+        assert t8 > t4  # more HCAs, thinner slices of the same aggregate
 
     def test_p2p_zero_bytes(self):
         assert p2p_time(single_node(), 0, LinkType.INTRA_NODE) == 0.0

@@ -1,0 +1,198 @@
+"""Tests for the topology-aware drop-in NCCL model and its selection."""
+
+import pytest
+
+from repro import ParallelismConfig, TrainingConfig, VTrain, multi_node
+from repro.config.presets import MEGATRON_7_5B
+from repro.errors import ConfigError
+from repro.hardware.interconnect import LinkType
+from repro.network.model import (TopologyAwareNcclModel, nccl_model_for,
+                                 place_group)
+from repro.network.selection import (CollectiveAlgorithm, select_algorithm,
+                                     tree_threshold)
+from repro.profiling.nccl import NcclModel
+
+MIB = float(1 << 20)
+
+
+class TestSelection:
+    def test_multi_node_multi_rank_groups_go_hierarchical(self):
+        assert select_algorithm(256 * MIB, 32, nodes_spanned=8,
+                                ranks_per_node=4) is \
+            CollectiveAlgorithm.HIERARCHICAL
+
+    def test_small_payloads_go_tree(self):
+        assert select_algorithm(64 * 1024, 8, nodes_spanned=8) is \
+            CollectiveAlgorithm.TREE
+
+    def test_large_payloads_go_ring(self):
+        assert select_algorithm(256 * MIB, 8, nodes_spanned=8) is \
+            CollectiveAlgorithm.RING
+
+    def test_threshold_grows_with_group_size(self):
+        assert tree_threshold(64) > tree_threshold(4)
+
+    def test_rejects_degenerate_groups(self):
+        with pytest.raises(ConfigError):
+            select_algorithm(MIB, 1, nodes_spanned=1)
+
+
+class TestPlacement:
+    def test_one_rank_per_node(self):
+        placement = place_group(8, 8)
+        assert placement.nodes_spanned == 8
+        assert placement.ranks_per_node == 1
+        assert placement.node_stride == 1
+
+    def test_group_larger_than_machine_stacks_ranks(self):
+        placement = place_group(32, 8)
+        assert placement.nodes_spanned == 8
+        assert placement.ranks_per_node == 4
+
+    def test_indivisible_group_is_not_padded(self):
+        """Regression: 8 ranks over 3 nodes must cost exactly 8 members
+        (3+3+2, ragged), not a padded 9."""
+        placement = place_group(8, 3)
+        assert len(placement.members()) == 8
+        slots = placement.node_slots()
+        assert [len(s) for s in slots] == [3, 3, 2]
+        assert len({gpu for node in slots for gpu in node}) == 8
+
+    def test_small_group_strides_across_machine(self):
+        """A DP group of 4 on a 16-node job strides 4 nodes apart, the
+        way the 3D rank mapping places it."""
+        placement = place_group(4, 16)
+        assert placement.nodes_spanned == 4
+        assert placement.node_stride == 4
+        assert [placement.node_of(i) for i in range(4)] == [0, 4, 8, 12]
+
+    def test_node_slots_shape(self):
+        slots = place_group(16, 4).node_slots()
+        assert len(slots) == 4
+        assert all(len(s) == 4 for s in slots)
+
+
+class TestModelFactory:
+    def test_flat_returns_plain_nccl_model(self):
+        model = nccl_model_for(multi_node(4))
+        assert type(model) is NcclModel
+
+    def test_rail_returns_topology_model(self):
+        model = nccl_model_for(multi_node(4, network="rail"))
+        assert isinstance(model, TopologyAwareNcclModel)
+        assert model.topology.name == "rail"
+
+    def test_flat_system_has_no_topology_model(self):
+        with pytest.raises(ConfigError):
+            TopologyAwareNcclModel(multi_node(4))
+
+
+class TestTopologyAwareModel:
+    @pytest.fixture
+    def rail_model(self):
+        return TopologyAwareNcclModel(multi_node(8, network="rail"))
+
+    @pytest.fixture
+    def flat_model(self):
+        return NcclModel(multi_node(8))
+
+    def test_intra_node_table_is_bit_identical_to_flat(self, rail_model,
+                                                       flat_model):
+        """The profiled NVLink table is untouched by topology — the
+        single-node (hierarchical) case IS the ring table."""
+        for size in (MIB, 16 * MIB, 700 * MIB):
+            for group in (2, 4, 8):
+                assert rail_model.allreduce_time(
+                    size, group, LinkType.INTRA_NODE) == \
+                    flat_model.allreduce_time(size, group,
+                                              LinkType.INTRA_NODE)
+        assert rail_model.profile_table(8) == flat_model.profile_table(8)
+
+    def test_inter_node_differs_from_flat(self, rail_model, flat_model):
+        rail = rail_model.allreduce_time(256 * MIB, 8, LinkType.INTER_NODE)
+        flat = flat_model.allreduce_time(256 * MIB, 8, LinkType.INTER_NODE)
+        assert rail != flat
+        assert rail == pytest.approx(flat, rel=0.1)  # same aggregate pipe
+
+    def test_oversubscribed_fat_tree_is_slowest(self):
+        size, group = 256 * MIB, 32
+        times = {}
+        for network in ("rail", "fat-tree", "fat-tree:8"):
+            model = TopologyAwareNcclModel(multi_node(8, network=network))
+            times[network] = model.allreduce_time(size, group,
+                                                  LinkType.INTER_NODE)
+        assert times["rail"] <= times["fat-tree"] < times["fat-tree:8"]
+
+    def test_sendrecv_rides_one_rail(self, rail_model):
+        system = rail_model.system
+        time = rail_model.sendrecv_time(64 * MIB, LinkType.INTER_NODE)
+        assert time > 64 * MIB / system.nic_bandwidth
+
+    def test_allgather_with_colocated_ranks_tracks_flat(self):
+        """Regression: the ring order must keep co-located members
+        adjacent — a 16-rank group on 2 nodes crosses the fabric twice,
+        not on every hop, so the rail all-gather stays near the flat
+        aggregate pipe and below a same-size all-reduce."""
+        rail = TopologyAwareNcclModel(multi_node(2, network="rail"))
+        flat = NcclModel(multi_node(2))
+        size = 256 * MIB
+        rail_ag = rail.allgather_time(size, 16, LinkType.INTER_NODE)
+        flat_ag = flat.allgather_time(size, 16, LinkType.INTER_NODE)
+        assert rail_ag == pytest.approx(flat_ag, rel=0.1)
+        assert rail_ag < rail.allreduce_time(size, 16, LinkType.INTER_NODE)
+
+    def test_network_string_canonicalized_on_construction(self):
+        system = multi_node(2, network="fat-tree:1")
+        assert system.network == "fat-tree"
+        assert multi_node(2, network="fat-tree:4.0").network == "fat-tree:4"
+
+    def test_allgather_half_of_ring_allreduce(self, rail_model):
+        size = 512 * MIB  # large enough that selection picks ring
+        ar = rail_model.allreduce_time(size, 8, LinkType.INTER_NODE)
+        ag = rail_model.allgather_time(size, 8, LinkType.INTER_NODE)
+        assert ag == pytest.approx(ar / 2)
+        assert rail_model.reduce_scatter_time(size, 8,
+                                              LinkType.INTER_NODE) == ag
+
+    def test_explain_reports_selection(self, rail_model):
+        info = rail_model.explain(256 * MIB, 32)
+        assert info["algorithm"] == "hierarchical"
+        assert info["topology"] == "rail"
+        assert info["time"] > 0
+
+    def test_explain_handles_degenerate_cases(self, rail_model):
+        """Regression: explain() must not crash where allreduce_time
+        falls back to the base model."""
+        assert rail_model.explain(MIB, 1)["algorithm"] == "flat-fallback"
+
+    def test_interference_scales_hierarchical_intra_phases(self):
+        system = multi_node(8, network="rail")
+        quiet = TopologyAwareNcclModel(system)
+        noisy = TopologyAwareNcclModel(system, interference=1.3)
+        assert noisy.allreduce_time(256 * MIB, 32, LinkType.INTER_NODE) > \
+            quiet.allreduce_time(256 * MIB, 32, LinkType.INTER_NODE)
+
+
+class TestVTrainIntegration:
+    PLAN = ParallelismConfig(tensor=8, data=4, pipeline=2, micro_batch_size=2)
+    TRAINING = TrainingConfig(global_batch_size=64)
+
+    def test_flat_default_is_bit_identical_to_explicit_model(self):
+        """`network="flat"` must reproduce pre-topology predictions
+        exactly (the acceptance criterion protecting old caches)."""
+        system = multi_node(8)
+        default = VTrain(system).predict(MEGATRON_7_5B, self.PLAN,
+                                         self.TRAINING)
+        explicit = VTrain(system, nccl=NcclModel(system)).predict(
+            MEGATRON_7_5B, self.PLAN, self.TRAINING)
+        assert default.iteration_time == explicit.iteration_time
+
+    def test_topology_networks_produce_differing_predictions(self):
+        times = {}
+        for network in ("flat", "rail", "fat-tree:4"):
+            vtrain = VTrain(multi_node(8, network=network))
+            times[network] = vtrain.predict(
+                MEGATRON_7_5B, self.PLAN, self.TRAINING).iteration_time
+        assert len(set(times.values())) == 3
+        for time in times.values():  # same cluster, same order of magnitude
+            assert time == pytest.approx(times["flat"], rel=0.2)

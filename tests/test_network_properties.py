@@ -1,0 +1,108 @@
+"""Property-based invariants of the collective cost model (ISSUE 2).
+
+Three contracts hold for every algorithm on every topology:
+
+* time is monotone (non-decreasing) in payload size;
+* on an *uncontended* topology, no algorithm beats the flat-ring lower
+  bound ``S/B * 2(n-1)/n`` at the node's aggregate egress bandwidth
+  (the Equation-1 transfer term with zero latency);
+* a group confined to one node reduces exactly to the profiled NVLink
+  ring table (the paper's intra-node regime).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import multi_node
+from repro.hardware.interconnect import LinkType, nvlink_ring
+from repro.network.collectives import (flat_ring_lower_bound,
+                                       hierarchical_allreduce_time,
+                                       ring_allreduce_time,
+                                       tree_allreduce_time)
+from repro.network.model import TopologyAwareNcclModel, place_group
+from repro.network.topology import build_topology, gpu_id
+from repro.profiling.nccl import NcclModel
+
+MIB = float(1 << 20)
+
+sizes = st.floats(min_value=1024.0, max_value=1024 * MIB)
+group_sizes = st.sampled_from([2, 4, 8, 16])
+networks = st.sampled_from(["rail", "fat-tree", "fat-tree:4"])
+
+
+def model_for(network: str, num_nodes: int = 16) -> TopologyAwareNcclModel:
+    return TopologyAwareNcclModel(multi_node(num_nodes, network=network))
+
+
+def algorithm_times(network: str, size: float, span: int):
+    """(ring, tree, hierarchical) times for a representative group."""
+    system = multi_node(16, network=network)
+    topology = build_topology(system)
+    members = [gpu_id(node, 0) for node in range(span)]
+    channels = system.nics_per_node
+    ring = ring_allreduce_time(topology, members, size, channels=channels)
+    tree = tree_allreduce_time(topology, members, size, channels=channels)
+    slots = [[gpu_id(node, slot) for slot in range(4)]
+             for node in range(span)]
+    hierarchical = hierarchical_allreduce_time(
+        topology, slots, size, intra_ring=nvlink_ring(system, 4))
+    return ring, tree, hierarchical
+
+
+class TestMonotoneInPayload:
+    @given(network=networks, span=group_sizes,
+           small=sizes, factor=st.floats(min_value=1.0, max_value=64.0))
+    @settings(max_examples=40, deadline=None)
+    def test_all_algorithms(self, network, span, small, factor):
+        lo = algorithm_times(network, small, span)
+        hi = algorithm_times(network, small * factor, span)
+        for slow, fast in zip(hi, lo):
+            assert slow >= fast
+
+    @given(network=networks, group=st.sampled_from([2, 8, 32, 64]),
+           small=sizes, factor=st.floats(min_value=1.0, max_value=64.0))
+    @settings(max_examples=40, deadline=None)
+    def test_model_end_to_end(self, network, group, small, factor):
+        model = model_for(network)
+        lo = model.allreduce_time(small, group, LinkType.INTER_NODE)
+        hi = model.allreduce_time(small * factor, group,
+                                  LinkType.INTER_NODE)
+        assert hi >= lo
+
+
+class TestFlatRingLowerBound:
+    @given(network=networks, span=group_sizes, size=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_no_algorithm_beats_the_bound(self, network, span, size):
+        """On an uncontended topology every algorithm's time is >= the
+        latency-free Equation-1 transfer at aggregate bandwidth."""
+        system = multi_node(16, network=network)
+        bound = flat_ring_lower_bound(system.effective_internode_bandwidth,
+                                      size, span)
+        for time in algorithm_times(network, size, span):
+            assert time >= bound
+
+    @given(network=networks, group=st.sampled_from([2, 8, 32, 64]),
+           size=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_model_respects_the_bound(self, network, group, size):
+        model = model_for(network)
+        placement = place_group(group, model.system.num_nodes)
+        bound = flat_ring_lower_bound(
+            model.system.effective_internode_bandwidth, size,
+            placement.nodes_spanned)
+        assert model.allreduce_time(size, group,
+                                    LinkType.INTER_NODE) >= bound
+
+
+class TestSingleNodeReducesToNvlinkTable:
+    @given(network=networks, group=st.sampled_from([2, 4, 8]), size=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_intra_group_uses_the_profiled_table(self, network, group, size):
+        """Hierarchical All-Reduce degenerates on one node: the
+        topology-aware model answers straight from the NVLink ring
+        table, bit-identical to the flat model."""
+        topo_model = model_for(network)
+        flat_model = NcclModel(multi_node(16))
+        assert topo_model.allreduce_time(size, group, LinkType.INTRA_NODE) \
+            == flat_model.allreduce_time(size, group, LinkType.INTRA_NODE)
