@@ -22,6 +22,7 @@ from repro.dse.cache import PredictionCache
 from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.parallel import ParallelExplorer
 from repro.dse.space import SearchSpace
+from repro.graph.builder import structure_cache_stats
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
@@ -57,14 +58,20 @@ def test_parallel_sweep_matches_serial_and_cache_skips_work(benchmark):
     assert warm_result.points == serial_result.points
     assert cache.hits >= len(serial_result.points)
 
+    structure_stats = structure_cache_stats()
     emit_table("dse_parallel", "Sweep engine: serial vs parallel vs cache",
                [{"plans": len(serial_result.points),
                  "workers": WORKERS,
                  "serial_s": serial_s,
                  "parallel_s": parallel_s,
                  "speedup": serial_s / parallel_s if parallel_s else 0.0,
-                 "cache_hits": cache.hits}],
+                 "cache_hits": cache.hits,
+                 "structure_reuse": structure_stats["hits"],
+                 "structures_built": structure_stats["misses"]}],
                notes="warm-cache sweep time is the benchmarked quantity; "
-                     "it runs zero simulations")
+                     "it runs zero simulations. structure_reuse counts "
+                     "plans in this process that re-timed an "
+                     "already-compiled graph topology instead of "
+                     "rebuilding it")
     benchmark.extra_info["plans"] = len(serial_result.points)
     benchmark.extra_info["workers"] = WORKERS

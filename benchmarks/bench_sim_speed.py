@@ -3,9 +3,31 @@
 The paper reports ~2 seconds per MT-NLG-scale simulation on a server CPU
 and O(1) profiling cost thanks to the necessary-operator optimisation.
 This bench measures our simulator's per-prediction latency at each graph
-granularity (with warm profiles, the DSE regime) and verifies the O(1)
-profiling property.
+granularity (with warm profiles, the DSE regime), verifies the O(1)
+profiling property, and gates the compiled replay core against
+regressions:
+
+* ``test_warm_predict_speedup_and_regression_gate`` measures a warm
+  OPERATOR-granularity ``predict`` on the MT-NLG (8, 8, 35) plan — the
+  structure-cache fast path (duration refill + compiled replay) — against
+  the pre-split cost of the same prediction (full graph rebuild + the
+  reference Algorithm-1 loop). It asserts the >= 3x speedup the
+  structure/timing split promises, appends the measurement to the perf
+  trajectory in ``benchmarks/results/BENCH_sim_speed.json``, and fails
+  if the warm-predict latency regressed more than 25 % against the
+  committed baseline (the trajectory's first entry). The gated metric is
+  the *ratio* warm/reference measured in the same process, so the gate
+  is insensitive to how fast the CI machine happens to be.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke/perf lanes (fewer timing
+rounds; the model and plan stay MT-NLG-sized so the gate measures the
+real workload).
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 from _helpers import emit_table
 
@@ -13,9 +35,21 @@ from repro.config.presets import (MT_NLG_530B, MT_NLG_BASELINE_PLANS,
                                   MT_NLG_TRAINING)
 from repro.config.system import multi_node
 from repro.graph.builder import Granularity
+from repro.sim.engine import simulate_reference
 from repro.sim.estimator import VTrain
 
 PLAN = MT_NLG_BASELINE_PLANS[0]  # (8, 8, 35) on 2,240 GPUs
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+BENCH_FILE = Path(__file__).parent / "results" / "BENCH_sim_speed.json"
+BENCH_SCHEMA = 1
+#: Allowed warm/reference slowdown vs the committed baseline ratio.
+REGRESSION_HEADROOM = 1.25
+#: Minimum speedup of the structure-cache warm path over a full
+#: rebuild + reference replay (the acceptance bar for the split).
+MIN_SPEEDUP = 3.0
+#: Keep the perf trajectory bounded.
+TRAJECTORY_LIMIT = 50
 
 
 def _simulator(granularity):
@@ -33,7 +67,7 @@ def test_sim_speed_stage_granularity(benchmark):
     emit_table("sim_speed_stage", "Simulation speed: STAGE granularity",
                [{"tasks": prediction.simulation.num_tasks,
                  "operators_profiled": stats["operators_profiled"],
-                 "lookups_reused": stats["lookups_served_from_table"]}],
+                 "structure_cache_hits": stats["structure_cache_hits"]}],
                notes="paper: ~2 s per simulation on a 32-core CPU; the "
                      "stage fast path is what makes 200-second full-space "
                      "DSE possible")
@@ -52,3 +86,84 @@ def test_sim_speed_operator_granularity(benchmark):
                "Simulation speed: OPERATOR granularity",
                [{"tasks": prediction.simulation.num_tasks}])
     assert prediction.simulation.num_tasks > 100_000
+
+
+def _load_trajectory():
+    if not BENCH_FILE.exists():
+        return None
+    payload = json.loads(BENCH_FILE.read_text())
+    if payload.get("schema") != BENCH_SCHEMA or not payload.get("entries"):
+        return None
+    return payload
+
+
+def test_warm_predict_speedup_and_regression_gate():
+    """Structure-cache warm predict vs pre-split rebuild-every-time."""
+    rounds = 3 if QUICK else 5
+    vtrain = _simulator(Granularity.OPERATOR)  # also caches the structure
+
+    warm_s = min(_timed(lambda: vtrain.predict(
+        MT_NLG_530B, PLAN, MT_NLG_TRAINING)) for _ in range(rounds))
+    assert vtrain.last_predict_timing.structure_cache_hit
+
+    # What the same warm prediction cost before the split: rebuild the
+    # ExecutionGraph from scratch, replay it with the reference engine.
+    tick = time.perf_counter()
+    graph = vtrain.build_graph(MT_NLG_530B, PLAN, MT_NLG_TRAINING)
+    build_s = time.perf_counter() - tick
+    replay_s = min(_timed(lambda: simulate_reference(graph))
+                   for _ in range(rounds))
+    reference_s = build_s + replay_s
+
+    speedup = reference_s / warm_s
+    ratio = warm_s / reference_s
+    entry = {
+        "quick": QUICK,
+        "tasks": len(graph),
+        "warm_predict_s": round(warm_s, 6),
+        "reference_s": round(reference_s, 6),
+        "speedup": round(speedup, 3),
+        "warm_over_reference": round(ratio, 6),
+    }
+
+    trajectory = _load_trajectory()
+    baseline = trajectory["entries"][0] if trajectory else None
+    if trajectory is None:
+        trajectory = {"schema": BENCH_SCHEMA,
+                      "benchmark": "sim_speed_warm_predict",
+                      "gated_metric": "warm_over_reference",
+                      "regression_headroom": REGRESSION_HEADROOM,
+                      "entries": []}
+
+    emit_table("sim_speed_warm",
+               "Warm predict: structure cache vs full rebuild",
+               [entry | {"baseline_ratio":
+                         baseline["warm_over_reference"] if baseline
+                         else entry["warm_over_reference"]}],
+               notes="warm = memory check + duration refill + compiled "
+                     "replay; reference = graph rebuild + reference "
+                     "Algorithm-1 loop (the pre-split warm-predict cost)")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm predict only {speedup:.2f}x faster than a rebuild "
+        f"(need >= {MIN_SPEEDUP}x)")
+    if baseline is not None:
+        limit = baseline["warm_over_reference"] * REGRESSION_HEADROOM
+        assert ratio <= limit, (
+            f"warm-predict latency regressed: warm/reference {ratio:.4f} "
+            f"exceeds committed baseline {baseline['warm_over_reference']} "
+            f"by more than {REGRESSION_HEADROOM}x")
+
+    # Record only passing runs, and always keep entries[0] — the
+    # committed baseline the gate compares against — when truncating.
+    tail = trajectory["entries"][1:] + [entry]
+    trajectory["entries"] = (trajectory["entries"][:1]
+                             + tail[-(TRAJECTORY_LIMIT - 1):])
+    BENCH_FILE.parent.mkdir(exist_ok=True)
+    BENCH_FILE.write_text(json.dumps(trajectory, indent=1) + "\n")
+
+
+def _timed(thunk):
+    tick = time.perf_counter()
+    thunk()
+    return time.perf_counter() - tick

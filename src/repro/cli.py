@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execution-graph detail level")
     predict.add_argument("--no-memory-check", action="store_true",
                          help="skip the per-GPU memory feasibility check")
+    predict.add_argument("--timing", action="store_true",
+                         help="print a phase breakdown of where the "
+                              "prediction's wall time went (memory check, "
+                              "structure build or cache hit, duration fill, "
+                              "replay)")
 
     dse = commands.add_parser(
         "dse", help="sweep the 3D-parallelism design space for a preset "
@@ -149,6 +154,15 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     print(f"utilization      : "
           f"{100 * prediction.gpu_compute_utilization:.2f} %")
     print(f"memory per GPU   : {prediction.memory_per_gpu / GIB:.2f} GiB")
+    if args.timing:
+        timing = vtrain.last_predict_timing
+        print("timing breakdown :")
+        print(f"  memory check   : {timing.memory_check_s * 1e3:.2f} ms")
+        print(f"  structure      : {timing.structure_s * 1e3:.2f} ms "
+              f"({timing.structure_source})")
+        print(f"  duration fill  : {timing.fill_s * 1e3:.2f} ms")
+        print(f"  replay         : {timing.replay_s * 1e3:.2f} ms")
+        print(f"  total          : {timing.total_s * 1e3:.2f} ms")
     if description.training.total_tokens:
         estimate = vtrain.estimate_training(description.model,
                                             description.plan,

@@ -113,10 +113,16 @@ class DSEResult:
                      num_gpus: int | None = None,
                      max_gpus: int | None = None,
                      tensor: int | None = None) -> DesignPoint:
-        """Cheapest-per-token feasible plan, optionally constrained."""
+        """Cheapest-per-token feasible plan, optionally constrained.
+
+        Each candidate's cost is priced exactly once (O(n) pricing
+        evaluations), not once per comparison.
+        """
         candidates = self._filter(num_gpus=num_gpus, max_gpus=max_gpus,
                                   tensor=tensor)
-        return min(candidates, key=lambda p: p.cost_per_iteration(pricing))
+        costs = [point.cost_per_iteration(pricing) for point in candidates]
+        return candidates[min(range(len(candidates)),
+                              key=costs.__getitem__)]
 
     def best_micro_batch_per_way(self) -> dict[tuple[int, int, int],
                                                DesignPoint]:
@@ -131,14 +137,17 @@ class DSEResult:
 
     def pareto_frontier(self, *, pricing: PricingModel = DEFAULT_PRICING,
                         ) -> list[DesignPoint]:
-        """Points not dominated in (iteration time, cost/iteration)."""
-        points = sorted(self.feasible_points,
-                        key=lambda p: (p.iteration_time,
-                                       p.cost_per_iteration(pricing)))
+        """Points not dominated in (iteration time, cost/iteration).
+
+        Each point is priced exactly once (O(n) pricing evaluations);
+        the sort compares the precomputed (time, cost) pairs.
+        """
+        costed = [(point, point.cost_per_iteration(pricing))
+                  for point in self.feasible_points]
+        costed.sort(key=lambda entry: (entry[0].iteration_time, entry[1]))
         frontier: list[DesignPoint] = []
         best_cost = float("inf")
-        for point in points:
-            cost = point.cost_per_iteration(pricing)
+        for point, cost in costed:
             if cost < best_cost:
                 frontier.append(point)
                 best_cost = cost
@@ -284,7 +293,25 @@ class DesignSpaceExplorer:
         if plans is None:
             plans = enumerate_plans(self.model, self.training, space=space,
                                     num_gpus=num_gpus, max_gpus=max_gpus)
-        result = DSEResult(model=self.model, training=self.training)
-        for plan in plans:
-            result.points.append(self.evaluate(plan))
+        plan_list = list(plans)
+        result = DSEResult(model=self.model, training=self.training,
+                           points=[None] * len(plan_list))
+        # Evaluate in structure-affinity order: plans sharing a compiled
+        # graph topology run consecutively, so each group compiles once
+        # and re-times thereafter (predictions are order-independent,
+        # and results are restored to plan order below).
+        for index in self._affinity_order(plan_list):
+            result.points[index] = self.evaluate(plan_list[index])
         return result
+
+    def _affinity_order(self, plans: list[ParallelismConfig]) -> list[int]:
+        """Indices of ``plans`` sorted to co-locate shared structures
+        (ties and un-fingerprintable plans keep their original order)."""
+        from repro.graph.builder import structure_affinity
+
+        def sort_key(index: int) -> tuple[str, int]:
+            key = structure_affinity(self.model, plans[index], self.training,
+                                     self.granularity)
+            return ("~" if key is None else key, index)
+
+        return sorted(range(len(plans)), key=sort_key)

@@ -17,7 +17,13 @@ analytical device model, and results are merged by index.
 Each worker process hosts one long-lived
 :class:`~repro.dse.explorer.DesignSpaceExplorer`, so per-worker
 profiling state (the necessary-operator lookup table) warms once and is
-reused across every chunk that worker pulls.
+reused across every chunk that worker pulls. The compiled-structure
+cache (:func:`repro.graph.builder.structure_cache_stats`) is likewise
+per-process: plans that share a structural fingerprint — same pipeline
+depth, schedule, micro-batch count, and bucket layout — reuse one
+compiled topology inside each worker and only refill durations, while
+predictions stay bit-identical to the serial sweep (and to pre-split
+releases, so persisted :class:`PredictionCache` files remain valid).
 """
 
 from __future__ import annotations
@@ -172,6 +178,15 @@ class ParallelExplorer:
                 points[index] = cached
             else:
                 pending.append((index, plan, key))
+        # Chunk in structure-affinity order: plans sharing a compiled
+        # graph topology land in the same work unit, so each worker
+        # compiles a structure once and re-times it for the rest of the
+        # group. Results are merged back by index, so the returned
+        # point order (and every prediction) is unchanged.
+        from repro.graph.builder import structure_affinity
+        pending.sort(key=lambda entry: (
+            structure_affinity(self.model, entry[1], self.training,
+                               self.granularity) or "~", entry[0]))
         self._report(total - len(pending), total)
 
         if pending:

@@ -1,6 +1,8 @@
 """Execution graphs: operators, pipeline schedules, builders, structure."""
 
-from repro.graph.builder import Granularity, GraphBuilder
+from repro.graph.builder import (Granularity, GraphBuilder,
+                                 clear_structure_cache,
+                                 structure_cache_stats)
 from repro.graph.operators import (CommKind, CommOperator, CommScope,
                                    CompOperator, OpKind, data_allreduce,
                                    pipeline_send_recv, tensor_allreduce)
@@ -10,7 +12,8 @@ from repro.graph.pipeline import (ScheduledChunk, gpipe_order,
                                   one_f_one_b_order,
                                   pipeline_bubble_fraction, schedule_order)
 from repro.graph.structure import (COMM_STREAM, COMPUTE_STREAM,
-                                   ExecutionGraph, GraphAssembler, TaskNode)
+                                   ExecutionGraph, FlatAssembler,
+                                   GraphAssembler, GraphStructure, TaskNode)
 
 __all__ = [
     "COMM_STREAM",
@@ -20,10 +23,14 @@ __all__ = [
     "CommScope",
     "CompOperator",
     "ExecutionGraph",
+    "FlatAssembler",
     "Granularity",
     "GraphAssembler",
     "GraphBuilder",
+    "GraphStructure",
     "OpKind",
+    "clear_structure_cache",
+    "structure_cache_stats",
     "ScheduledChunk",
     "TaskNode",
     "data_allreduce",

@@ -32,6 +32,10 @@ overlap stays modelled.
 from __future__ import annotations
 
 import enum
+import os
+from collections import OrderedDict
+
+import numpy as np
 
 from repro.config.model import ModelConfig
 from repro.config.parallelism import (ParallelismConfig, TrainingConfig,
@@ -45,9 +49,11 @@ from repro.graph.operators import (CompOperator, OpKind,
 from repro.graph.pipeline import (FORWARD, ScheduledChunk,
                                   last_backward_micro_batch, schedule_order)
 from repro.graph.structure import (COMM_STREAM, COMPUTE_STREAM,
-                                   ExecutionGraph, GraphAssembler,
+                                   ExecutionGraph, FlatAssembler,
+                                   GraphAssembler, GraphStructure,
                                    KIND_COMPUTE, KIND_DP_COMM, KIND_PP_COMM,
-                                   KIND_TP_COMM, KIND_WEIGHT_UPDATE)
+                                   KIND_TP_COMM, KIND_WEIGHT_UPDATE,
+                                   _AssemblerBase)
 from repro.hardware.cluster import ClusterTopology
 from repro.profiling.lookup import OperatorToTaskTable
 from repro.profiling.nccl import NcclModel
@@ -61,6 +67,151 @@ class Granularity(enum.Enum):
     KERNEL = "kernel"
     OPERATOR = "operator"
     STAGE = "stage"
+
+
+# ---------------------------------------------------------------------------
+# Process-wide structure cache
+# ---------------------------------------------------------------------------
+# Compiled GraphStructures keyed by their structural fingerprint
+# (GraphBuilder.structure_key). Two plans that differ only in profiled
+# durations — micro-batch *size* at the same micro-batch count, a
+# different tensor degree with tensor parallelism still on, a perturbed
+# device or NCCL model, or simply a repeated VTrain.predict of the same
+# plan — share one compiled topology and only refill the duration
+# vector. The cache is per-process by design (ParallelExplorer workers
+# each warm their own), LRU-evicted against a total-task budget.
+
+_STRUCTURE_CACHE: "OrderedDict[str, GraphStructure]" = OrderedDict()
+_STRUCTURE_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+#: Default cap on the summed task count of cached structures (~200 MB
+#: worst case); override with REPRO_STRUCTURE_CACHE_TASKS.
+DEFAULT_STRUCTURE_CACHE_TASKS = 1_000_000
+
+
+def _structure_cache_budget() -> int:
+    raw = os.environ.get("REPRO_STRUCTURE_CACHE_TASKS")
+    if raw is None:
+        return DEFAULT_STRUCTURE_CACHE_TASKS
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_STRUCTURE_CACHE_TASKS
+
+
+def structure_cache_get(key: str) -> GraphStructure | None:
+    """Cached structure for ``key`` (counts a hit or a miss)."""
+    structure = _STRUCTURE_CACHE.get(key)
+    if structure is None:
+        _STRUCTURE_CACHE_STATS["misses"] += 1
+        return None
+    _STRUCTURE_CACHE.move_to_end(key)
+    _STRUCTURE_CACHE_STATS["hits"] += 1
+    return structure
+
+
+def structure_cache_put(key: str, structure: GraphStructure) -> None:
+    """Insert a structure, LRU-evicting down to the task budget."""
+    _STRUCTURE_CACHE[key] = structure
+    _STRUCTURE_CACHE.move_to_end(key)
+    budget = _structure_cache_budget()
+    total = sum(entry.num_tasks for entry in _STRUCTURE_CACHE.values())
+    while total > budget and len(_STRUCTURE_CACHE) > 1:
+        _, evicted = _STRUCTURE_CACHE.popitem(last=False)
+        total -= evicted.num_tasks
+        _STRUCTURE_CACHE_STATS["evictions"] += 1
+
+
+def structure_cache_evict(key: str) -> None:
+    """Drop one entry (defensive fallback when a refill mismatches)."""
+    _STRUCTURE_CACHE.pop(key, None)
+
+
+def structure_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction/size counters for this process."""
+    return {**_STRUCTURE_CACHE_STATS,
+            "entries": len(_STRUCTURE_CACHE),
+            "cached_tasks": sum(entry.num_tasks
+                                for entry in _STRUCTURE_CACHE.values())}
+
+
+def clear_structure_cache() -> None:
+    """Empty the cache and reset its counters (tests, benchmarks)."""
+    _STRUCTURE_CACHE.clear()
+    for counter in _STRUCTURE_CACHE_STATS:
+        _STRUCTURE_CACHE_STATS[counter] = 0
+
+
+def structure_fingerprint(model: ModelConfig, plan: ParallelismConfig,
+                          training: TrainingConfig,
+                          granularity: Granularity) -> str:
+    """Fingerprint of everything that shapes a plan's emitted topology.
+
+    Two (model, plan, training, granularity) tuples with equal
+    fingerprints produce graphs with identical node sequences, edges,
+    devices, streams, labels, and timing slots — only slot *values*
+    (durations) may differ. The fingerprint deliberately excludes pure
+    timing inputs (hidden size, tensor/data degree magnitudes,
+    interconnects, the device model, recompute outside KERNEL
+    granularity) so sweeps re-time one compiled structure instead of
+    rebuilding:
+
+    * model shape enters as layers-per-stage (the only model property
+      emission reads);
+    * plan way enters as pipeline depth plus *whether* TP/DP
+      collectives exist (their degree only scales durations);
+    * micro-batch count and schedule fix the chunk issue order;
+    * the gradient-bucket layout fixes DP All-Reduce tasks;
+    * granularity fixes the stream layout; KERNEL graphs add the
+      recompute mode because it changes the kernel sequence itself.
+
+    Computable without any profiling state, so sweep engines use it to
+    group plans for cache affinity before evaluating them.
+    """
+    lps = layers_per_stage(model, plan)
+    nmb = num_micro_batches(plan, training)
+    if plan.gradient_bucketing:
+        buckets = min(plan.num_gradient_buckets, lps)
+    else:
+        buckets = 1
+    base, extra = divmod(lps, buckets)  # mirrors the builder's layout
+    sizes = [base + (1 if k < extra else 0) for k in range(buckets)]
+    parts = [
+        f"g={granularity.value}",
+        f"sched={plan.schedule.value}",
+        f"p={plan.pipeline}",
+        f"lps={lps}",
+        f"nmb={nmb}",
+        f"tp={int(plan.tensor > 1)}",
+        f"dp={int(plan.data > 1)}",
+        f"buckets={','.join(str(size) for size in sizes)}",
+    ]
+    if granularity is Granularity.KERNEL:
+        # Kernel graphs bake shape into the structure itself: the
+        # recompute mode changes the kernel sequence, and kernel task
+        # labels carry names derived from the sharded GEMM shapes.
+        parts.append(f"rc={plan.recompute.value}")
+        parts.append(f"shape={model.hidden_size}x{model.num_heads}"
+                     f"x{model.seq_length}"
+                     f"x{model.padded_vocab_size(plan.tensor)}")
+        parts.append(f"mbs={plan.micro_batch_size}")
+        parts.append(f"t={plan.tensor}")
+    return ";".join(parts)
+
+
+def structure_affinity(model: ModelConfig, plan: ParallelismConfig,
+                       training: TrainingConfig,
+                       granularity: Granularity) -> str | None:
+    """Best-effort :func:`structure_fingerprint` for sweep grouping.
+
+    Returns ``None`` for plans whose fingerprint cannot be computed
+    (structurally invalid — they fail fast during evaluation anyway);
+    sweep engines sort those last in their original order.
+    """
+    try:
+        return structure_fingerprint(model, plan, training, granularity)
+    except (ArithmeticError, ValueError):
+        return None
 
 
 class GraphBuilder:
@@ -90,6 +241,7 @@ class GraphBuilder:
         self._init_operators()
         self._init_comm_times()
         self._init_stage_params()
+        self._init_timings()
 
     # ------------------------------------------------------------------
     # Precomputation
@@ -174,12 +326,143 @@ class GraphBuilder:
             params += 2 * model.hidden_size
         return FP16 * params
 
+    def _init_timings(self) -> None:
+        """Build the timing table: slot key -> duration in seconds.
+
+        Every task the builder emits draws its duration from exactly one
+        slot here, and records that slot key in the assembler; a
+        compiled :class:`GraphStructure` can therefore be *re-timed* —
+        its duration vector refilled from a fresh builder's table —
+        without re-running graph assembly. Values are computed with the
+        same expressions emission previously used inline, so graphs (and
+        predictions) are bit-identical to the pre-split builder.
+        """
+        plan = self.plan
+        timings: dict[str, float] = {}
+        ops = self._comp_ops = (
+            self.op_fwd_embed, self.op_fwd_mha, self.op_fwd_ffn,
+            self.op_fwd_head, self.op_bwd_head, self.op_bwd_ffn,
+            self.op_bwd_mha, self.op_bwd_embed)
+        for op in ops:
+            timings[f"op:{op.kind.value}"] = self.lookup.duration_of(op)
+        if self.granularity is Granularity.KERNEL:
+            for op in ops:
+                for index, kernel in enumerate(self.lookup.tasks_for(op)):
+                    timings[f"k:{op.kind.value}:{index}"] = kernel.duration
+        timings["tp_ar"] = self.tp_ar_time
+        for boundary, seconds in enumerate(self.send_time):
+            timings[f"pp:{boundary}"] = seconds
+
+        self._dp_comms: dict[tuple[int, int], object] = {}
+        if plan.data > 1:
+            dp_link = self.topology.data_link()
+            dp_concurrency = self.topology.concurrent_data_groups_per_node()
+            for stage in range(plan.pipeline):
+                for bucket in range(len(self.bucket_layers)):
+                    comm = data_allreduce(
+                        self._bucket_bytes(stage, bucket), plan.data, dp_link,
+                        concurrent_groups=dp_concurrency)
+                    self._dp_comms[(stage, bucket)] = comm
+                    timings[f"dp:{stage}:{bucket}"] = self.nccl.time(comm)
+
+        self._wu_ops: dict[int, CompOperator] = {}
+        for stage in range(plan.pipeline):
+            wu_op = CompOperator(OpKind.WEIGHT_UPDATE,
+                                 num_params=self.stage_params[stage])
+            self._wu_ops[stage] = wu_op
+            timings[f"wu:{stage}"] = self.lookup.duration_of(wu_op)
+
+        if self.granularity is Granularity.STAGE:
+            for stage in range(plan.pipeline):
+                timings[f"sf:{stage}"] = self._forward_stage_duration(stage)
+                timings[f"sb:{stage}"] = self._backward_stage_duration(stage)
+            layer_dur = self._backward_layer_duration()
+            num_buckets = len(self.bucket_layers)
+            for stage in range(plan.pipeline):
+                for issue_index, bucket in enumerate(
+                        reversed(range(num_buckets))):
+                    duration = len(self.bucket_layers[bucket]) * layer_dur
+                    if issue_index == 0 and stage == plan.pipeline - 1:
+                        duration += self.lookup.duration_of(self.op_bwd_head)
+                    if bucket == 0 and stage == 0:
+                        duration += self.lookup.duration_of(self.op_bwd_embed)
+                    timings[f"sbl:{stage}:{bucket}"] = duration
+        self.timings = timings
+
+    # ------------------------------------------------------------------
+    # Structure fingerprint and metadata
+    # ------------------------------------------------------------------
+    @property
+    def structure_key(self) -> str:
+        """This builder's :func:`structure_fingerprint` (see there for
+        exactly what the fingerprint covers and excludes)."""
+        return structure_fingerprint(self.model, self.plan, self.training,
+                                     self.granularity)
+
+    def graph_metadata(self) -> dict:
+        """The metadata dict a freshly built graph would carry."""
+        return {
+            "plan": self.plan,
+            "model": self.model.name or self.model.describe(),
+            "granularity": self.granularity.value,
+            "num_micro_batches": self.nmb,
+            "layers_per_stage": self.lps,
+            "schedule": self.plan.schedule.value,
+        }
+
+    def slot_kernel_counts(self) -> dict[str, int]:
+        """Kernel count behind each timing slot, for *this* builder's
+        operators (launch-overhead accounting in the testbed emulator).
+
+        Slots absent from the map (comm tasks, per-kernel tasks,
+        stage-granularity chunks) execute one kernel launch. Keyed by
+        slot so consumers resolve counts against the plan actually being
+        measured — never against the representative payloads a cached
+        structure captured from a different build.
+        """
+        counts: dict[str, int] = {}
+        if self.granularity is Granularity.OPERATOR:
+            for op in self._comp_ops:
+                counts[f"op:{op.kind.value}"] = len(self.lookup.tasks_for(op))
+        for stage, wu_op in self._wu_ops.items():
+            counts[f"wu:{stage}"] = len(self.lookup.tasks_for(wu_op))
+        return counts
+
+    def fill_durations(self, structure: GraphStructure) -> np.ndarray:
+        """Duration vector for ``structure`` under this builder's timings.
+
+        The retime-without-rebuild fast path: broadcast this builder's
+        timing table through the structure's per-task slot indices. The
+        structure must have been compiled from a builder with an equal
+        :attr:`structure_key` (a missing slot raises SimulationError —
+        callers fall back to a full rebuild).
+        """
+        return structure.retime(self.timings)
+
     # ------------------------------------------------------------------
     # Graph construction
     # ------------------------------------------------------------------
     def build(self) -> ExecutionGraph:
         """Assemble and return the iteration's execution graph."""
         asm = GraphAssembler()
+        self._emit(asm)
+        graph = asm.finish(num_devices=self.plan.pipeline,
+                           metadata=self.graph_metadata())
+        return graph
+
+    def compile(self) -> GraphStructure:
+        """Assemble the iteration directly into its compiled replay
+        structure (no :class:`TaskNode` graph is materialized).
+
+        The compiled structure carries timing-slot keys, so it can later
+        be re-timed by any builder with the same :attr:`structure_key`.
+        """
+        asm = FlatAssembler()
+        self._emit(asm)
+        return asm.compile(num_devices=self.plan.pipeline,
+                           metadata=self.graph_metadata())
+
+    def _emit(self, asm: _AssemblerBase) -> None:
         p = self.plan.pipeline
         orders = [schedule_order(self.plan.schedule, st, p, self.nmb)
                   for st in range(p)]
@@ -208,16 +491,6 @@ class GraphBuilder:
         self._emit_pipeline_comm(asm, f_exit, f_entry, b_exit, b_entry)
         self._emit_gradient_sync(asm, orders, b_exit, bucket_anchor, last_b)
 
-        graph = asm.finish(num_devices=p, metadata={
-            "plan": self.plan,
-            "model": self.model.name or self.model.describe(),
-            "granularity": self.granularity.value,
-            "num_micro_batches": self.nmb,
-            "layers_per_stage": self.lps,
-            "schedule": self.plan.schedule.value,
-        })
-        return graph
-
     # ------------------------------------------------------------------
     # Chunk emission
     # ------------------------------------------------------------------
@@ -225,6 +498,7 @@ class GraphBuilder:
                    label: str, kind: str = KIND_COMPUTE,
                    deps: tuple[int, ...] = ()) -> tuple[int, int]:
         """Emit one computation operator; returns (entry, exit) task ids."""
+        op_key = op.kind.value
         if self.granularity is Granularity.KERNEL:
             first = None
             last = None
@@ -232,15 +506,15 @@ class GraphBuilder:
                 node = asm.add(stage, COMPUTE_STREAM, kernel.duration, kind,
                                f"{label}/{kernel.name}",
                                deps=deps if index == 0 else (),
-                               payload=kernel)
+                               payload=kernel, slot=f"k:{op_key}:{index}")
                 first = node if first is None else first
                 last = node
             if first is None:  # pragma: no cover - decompositions are non-empty
                 raise ConfigError(f"operator {op.kind} produced no kernels")
             return first, last
-        duration = self.lookup.duration_of(op)
-        node = asm.add(stage, COMPUTE_STREAM, duration, kind, label,
-                       deps=deps, payload=op)
+        node = asm.add(stage, COMPUTE_STREAM, self.timings[f"op:{op_key}"],
+                       kind, label, deps=deps, payload=op,
+                       slot=f"op:{op_key}")
         return node, node
 
     def _emit_tp_allreduce(self, asm: GraphAssembler, stage: int,
@@ -249,16 +523,16 @@ class GraphBuilder:
         if self.tp_ar is None:
             return None
         return asm.add(stage, COMPUTE_STREAM, self.tp_ar_time, KIND_TP_COMM,
-                       label, payload=self.tp_ar)
+                       label, payload=self.tp_ar, slot="tp_ar")
 
     def _emit_forward_chunk(self, asm: GraphAssembler, stage: int,
                             chunk: ScheduledChunk) -> tuple[int, int]:
         """Forward pass of one micro-batch on one stage."""
         mb = chunk.micro_batch
         if self.granularity is Granularity.STAGE:
-            node = asm.add(stage, COMPUTE_STREAM,
-                           self._forward_stage_duration(stage), KIND_COMPUTE,
-                           f"s{stage}/F{mb}")
+            node = asm.add(stage, COMPUTE_STREAM, self.timings[f"sf:{stage}"],
+                           KIND_COMPUTE, f"s{stage}/F{mb}",
+                           slot=f"sf:{stage}")
             return node, node
         p = self.plan.pipeline
         entry = None
@@ -383,26 +657,18 @@ class GraphBuilder:
         All-Reduces can still overlap the remaining backward compute.
         """
         if not is_last:
-            node = asm.add(stage, COMPUTE_STREAM,
-                           self._backward_stage_duration(stage), KIND_COMPUTE,
-                           f"s{stage}/B{mb}")
+            node = asm.add(stage, COMPUTE_STREAM, self.timings[f"sb:{stage}"],
+                           KIND_COMPUTE, f"s{stage}/B{mb}",
+                           slot=f"sb:{stage}")
             return node, node
-        layer_dur = self._backward_layer_duration()
-        head_extra = (self.lookup.duration_of(self.op_bwd_head)
-                      if stage == self.plan.pipeline - 1 else 0.0)
-        embed_extra = (self.lookup.duration_of(self.op_bwd_embed)
-                       if stage == 0 else 0.0)
         entry = None
         last = None
         num_buckets = len(self.bucket_layers)
-        for issue_index, bucket in enumerate(reversed(range(num_buckets))):
-            duration = len(self.bucket_layers[bucket]) * layer_dur
-            if issue_index == 0:
-                duration += head_extra
-            if bucket == 0:
-                duration += embed_extra
-            node = asm.add(stage, COMPUTE_STREAM, duration, KIND_COMPUTE,
-                           f"s{stage}/B{mb}/bucket{bucket}")
+        for bucket in reversed(range(num_buckets)):
+            node = asm.add(stage, COMPUTE_STREAM,
+                           self.timings[f"sbl:{stage}:{bucket}"],
+                           KIND_COMPUTE, f"s{stage}/B{mb}/bucket{bucket}",
+                           slot=f"sbl:{stage}:{bucket}")
             bucket_anchor[(stage, bucket)] = node
             entry = node if entry is None else entry
             last = node
@@ -419,12 +685,14 @@ class GraphBuilder:
                 send = asm.add(boundary, COMM_STREAM,
                                self.send_time[boundary], KIND_PP_COMM,
                                f"s{boundary}->s{boundary + 1}/F{mb}",
-                               deps=(f_exit[(boundary, mb)],), chain=False)
+                               deps=(f_exit[(boundary, mb)],), chain=False,
+                               slot=f"pp:{boundary}")
                 asm.link(send, f_entry[(boundary + 1, mb)])
                 recv = asm.add(boundary + 1, COMM_STREAM,
                                self.send_time[boundary], KIND_PP_COMM,
                                f"s{boundary + 1}->s{boundary}/B{mb}",
-                               deps=(b_exit[(boundary + 1, mb)],), chain=False)
+                               deps=(b_exit[(boundary + 1, mb)],), chain=False,
+                               slot=f"pp:{boundary}")
                 asm.link(recv, b_entry[(boundary, mb)])
 
     def _emit_gradient_sync(self, asm, orders, b_exit, bucket_anchor,
@@ -432,27 +700,24 @@ class GraphBuilder:
         """Insert DP gradient All-Reduces (Figure 5) and weight updates."""
         plan = self.plan
         d = plan.data
-        dp_link = self.topology.data_link() if d > 1 else None
-        dp_concurrency = (self.topology.concurrent_data_groups_per_node()
-                          if d > 1 else 1)
         num_buckets = len(self.bucket_layers)
         for stage in range(plan.pipeline):
             wu_deps: list[int] = []
             if d > 1:
                 last_ar = None
                 for bucket in reversed(range(num_buckets)):
-                    comm = data_allreduce(self._bucket_bytes(stage, bucket),
-                                          d, dp_link,
-                                          concurrent_groups=dp_concurrency)
+                    comm = self._dp_comms[(stage, bucket)]
                     anchor = bucket_anchor[(stage, bucket)]
-                    last_ar = asm.add(stage, COMM_STREAM, self.nccl.time(comm),
+                    last_ar = asm.add(stage, COMM_STREAM,
+                                      self.timings[f"dp:{stage}:{bucket}"],
                                       KIND_DP_COMM,
                                       f"s{stage}/dp_ar/bucket{bucket}",
-                                      deps=(anchor,), payload=comm)
+                                      deps=(anchor,), payload=comm,
+                                      slot=f"dp:{stage}:{bucket}")
                 wu_deps.append(last_ar)
-            wu_op = CompOperator(OpKind.WEIGHT_UPDATE,
-                                 num_params=self.stage_params[stage])
+            wu_op = self._wu_ops[stage]
             wu_deps.append(b_exit[(stage, last_b)])
-            asm.add(stage, COMPUTE_STREAM, self.lookup.duration_of(wu_op),
+            asm.add(stage, COMPUTE_STREAM, self.timings[f"wu:{stage}"],
                     KIND_WEIGHT_UPDATE, f"s{stage}/weight_update",
-                    deps=tuple(wu_deps), payload=wu_op)
+                    deps=tuple(wu_deps), payload=wu_op,
+                    slot=f"wu:{stage}")

@@ -1,4 +1,4 @@
-"""Execution-graph data structure shared by all granularities.
+"""Execution-graph data structures shared by all granularities.
 
 An :class:`ExecutionGraph` is a DAG of :class:`TaskNode` objects. Nodes
 carry a device (a logical pipeline stage), a stream (``compute`` or
@@ -11,14 +11,27 @@ The structure is deliberately lightweight (plain lists, integer node ids)
 because Figure-10-scale design-space sweeps simulate hundreds of graphs;
 :meth:`ExecutionGraph.to_networkx` exports to networkx for analysis and
 tests.
+
+**Structure/timing split.** A :class:`GraphStructure` is the *compiled*
+form of an execution graph: every per-task attribute flattened into
+CSR-style arrays, renumbered into the replay order Algorithm 1's FIFO
+queue would visit (which is purely structural — task durations never
+influence it), with the per-task duration vector kept separate. Replays
+become a single array pass (:func:`repro.sim.engine.simulate_retimed`),
+and because the topology is immutable, one compiled structure can be
+re-timed with fresh duration vectors — a perturbed device model, a new
+NCCL table, a different tensor-parallel degree with the same shape —
+without rebuilding or re-sorting anything.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import SimulationError
 
@@ -63,21 +76,25 @@ class TaskNode:
     payload: Any = None
 
 
-class GraphAssembler:
-    """Incrementally builds an :class:`ExecutionGraph`.
+class _AssemblerBase:
+    """Shared add/link/chain logic of the two assemblers.
 
-    Tracks the tail of every (device, stream) chain so consecutive tasks
-    on one stream serialise via explicit edges — the paper's "execution
-    order within each GPU must be modeled" requirement.
+    Both assemblers must wire identical edges in identical order (the
+    replay order — and therefore bit-identical results — depends on it),
+    so the dependency bookkeeping lives here and subclasses only decide
+    how a task is *stored*: as a :class:`TaskNode`
+    (:class:`GraphAssembler`, producing an :class:`ExecutionGraph`) or
+    as flat per-attribute columns (:class:`FlatAssembler`, producing a
+    :class:`GraphStructure` without ever materializing node objects).
     """
 
     def __init__(self) -> None:
-        self.nodes: list[TaskNode] = []
+        self.slots: list[str | None] = []
         self._chain_tail: dict[tuple[int, str], int] = {}
 
     def add(self, device: int, stream: str, duration: float, kind: str,
             label: str, *, deps: Iterable[int] = (), chain: bool = True,
-            payload: Any = None) -> int:
+            payload: Any = None, slot: str | None = None) -> int:
         """Append a task; returns its id.
 
         Args:
@@ -85,14 +102,16 @@ class GraphAssembler:
                 cross-stream edges).
             chain: Serialise after the previous task on this
                 (device, stream) pair.
+            slot: Optional timing-slot key naming the duration's source,
+                so a compiled :class:`GraphStructure` can re-derive the
+                duration vector from a fresh timing table
+                (:meth:`GraphStructure.retime`).
         """
         if duration < 0:
             raise SimulationError(f"negative duration for task {label!r}")
-        task_id = len(self.nodes)
-        node = TaskNode(task_id=task_id, device=device, stream=stream,
-                        duration=duration, kind=kind, label=label,
-                        payload=payload)
-        self.nodes.append(node)
+        task_id = self._append(device, stream, duration, kind, label,
+                               payload)
+        self.slots.append(slot)
         parents: set[int] = set(deps)
         if chain:
             tail = self._chain_tail.get((device, stream))
@@ -103,6 +122,38 @@ class GraphAssembler:
             self.link(parent, task_id)
         return task_id
 
+    def chain_tail(self, device: int, stream: str) -> int | None:
+        """Latest task id on a stream, or None if the stream is empty."""
+        return self._chain_tail.get((device, stream))
+
+    def _append(self, device: int, stream: str, duration: float, kind: str,
+                label: str, payload: Any) -> int:
+        raise NotImplementedError
+
+    def link(self, parent: int, child: int) -> None:
+        raise NotImplementedError
+
+
+class GraphAssembler(_AssemblerBase):
+    """Incrementally builds an :class:`ExecutionGraph`.
+
+    Tracks the tail of every (device, stream) chain so consecutive tasks
+    on one stream serialise via explicit edges — the paper's "execution
+    order within each GPU must be modeled" requirement.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.nodes: list[TaskNode] = []
+
+    def _append(self, device: int, stream: str, duration: float, kind: str,
+                label: str, payload: Any) -> int:
+        task_id = len(self.nodes)
+        self.nodes.append(TaskNode(task_id=task_id, device=device,
+                                   stream=stream, duration=duration,
+                                   kind=kind, label=label, payload=payload))
+        return task_id
+
     def link(self, parent: int, child: int) -> None:
         """Add a dependency edge parent -> child."""
         if parent == child:
@@ -110,15 +161,105 @@ class GraphAssembler:
         self.nodes[parent].children.append(child)
         self.nodes[child].num_parents += 1
 
-    def chain_tail(self, device: int, stream: str) -> int | None:
-        """Latest task id on a stream, or None if the stream is empty."""
-        return self._chain_tail.get((device, stream))
-
     def finish(self, num_devices: int,
                metadata: dict[str, Any] | None = None) -> "ExecutionGraph":
         """Freeze the assembled nodes into an ExecutionGraph."""
         return ExecutionGraph(nodes=self.nodes, num_devices=num_devices,
                               metadata=dict(metadata or {}))
+
+
+class FlatAssembler(_AssemblerBase):
+    """Column-oriented assembler feeding :meth:`compile` directly.
+
+    Behaviourally identical to :class:`GraphAssembler` (same task ids,
+    same edges in the same order) but stores per-task attributes in
+    parallel lists, so compiling a :class:`GraphStructure` skips
+    :class:`TaskNode` allocation entirely — the builder's fast path when
+    the caller wants a compiled structure rather than a node graph.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.device: list[int] = []
+        self.stream: list[str] = []
+        self.duration: list[float] = []
+        self.kind: list[str] = []
+        self.label: list[str] = []
+        self.payload: list[Any] = []
+        self.children: list[list[int]] = []
+        self.num_parents: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.device)
+
+    def _append(self, device: int, stream: str, duration: float, kind: str,
+                label: str, payload: Any) -> int:
+        task_id = len(self.device)
+        self.device.append(device)
+        self.stream.append(stream)
+        self.duration.append(duration)
+        self.kind.append(kind)
+        self.label.append(label)
+        self.payload.append(payload)
+        self.children.append([])
+        self.num_parents.append(0)
+        return task_id
+
+    def link(self, parent: int, child: int) -> None:
+        """Add a dependency edge parent -> child."""
+        if parent == child:
+            raise SimulationError("a task cannot depend on itself")
+        self.children[parent].append(child)
+        self.num_parents[child] += 1
+
+    def compile(self, num_devices: int,
+                metadata: dict[str, Any] | None = None) -> "GraphStructure":
+        """Compile the assembled columns into a :class:`GraphStructure`.
+
+        Raises:
+            SimulationError: Device out of range, or a dependency cycle
+                (reported with the reference engine's deadlock message).
+        """
+        num_tasks = len(self.device)
+        for task_id, device in enumerate(self.device):
+            if not 0 <= device < num_devices:
+                raise SimulationError(
+                    f"task {task_id} ({self.label[task_id]!r}) runs on "
+                    f"device {device}, outside the graph's "
+                    f"{num_devices} devices")
+        order = _replay_order(self.children, self.num_parents)
+        if len(order) != num_tasks:
+            raise SimulationError(
+                f"task graph deadlocked: {len(order)}/{num_tasks} tasks "
+                "executed (dependency cycle)")
+        return GraphStructure._from_columns(
+            order=order, device=self.device, stream=self.stream,
+            duration=self.duration, kind=self.kind, label=self.label,
+            payload=self.payload, children=self.children,
+            slots=self.slots, num_devices=num_devices,
+            metadata=dict(metadata or {}))
+
+
+def _replay_order(children: list[list[int]],
+                  num_parents: list[int]) -> list[int]:
+    """Kahn's algorithm with a FIFO queue — the exact pop order of the
+    reference engine's Algorithm-1 loop, which is purely structural."""
+    ref = list(num_parents)
+    queue: deque[int] = deque(task for task, parents in enumerate(ref)
+                              if parents == 0)
+    order: list[int] = []
+    order_append = order.append
+    queue_pop = queue.popleft
+    queue_push = queue.append
+    while queue:
+        task = queue_pop()
+        order_append(task)
+        for child in children[task]:
+            remaining = ref[child] - 1
+            ref[child] = remaining
+            if not remaining:
+                queue_push(child)
+    return order
 
 
 @dataclass
@@ -128,9 +269,38 @@ class ExecutionGraph:
     nodes: list[TaskNode]
     num_devices: int
     metadata: dict[str, Any] = field(default_factory=dict)
+    _compiled: "GraphStructure | None" = field(default=None, init=False,
+                                               repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 0:
+            raise SimulationError("num_devices must be non-negative")
+        for node in self.nodes:
+            if not 0 <= node.device < self.num_devices:
+                raise SimulationError(
+                    f"task {node.task_id} ({node.label!r}) runs on device "
+                    f"{node.device}, outside the graph's "
+                    f"{self.num_devices} devices")
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def compiled(self) -> "GraphStructure":
+        """The compiled replay form of this graph (built once, memoized).
+
+        Memoization freezes the *topology* at the first call — edges
+        added afterwards are not seen by later replays. Durations are
+        not frozen: :func:`~repro.sim.engine.simulate` re-reads them
+        from the nodes on every call, so mutating ``node.duration``
+        between replays (sensitivity studies) behaves exactly like the
+        reference engine.
+
+        Raises:
+            SimulationError: If the graph contains a dependency cycle.
+        """
+        if self._compiled is None:
+            self._compiled = GraphStructure.compile(self)
+        return self._compiled
 
     @property
     def num_edges(self) -> int:
@@ -183,3 +353,241 @@ class ExecutionGraph:
             for child in node.children:
                 graph.add_edge(node.task_id, child)
         return graph
+
+
+class GraphStructure:
+    """Immutable compiled topology of an execution graph.
+
+    Tasks are renumbered into *replay order* — the exact order
+    Algorithm 1's FIFO queue pops them (Kahn's algorithm with a FIFO
+    queue seeded in node order), which depends only on the edge
+    structure, never on durations. Every per-task attribute is a flat
+    array indexed by replay position, and children are stored CSR-style
+    (``child_ptr``/``child_idx``), so the replay engine touches no
+    dicts, deques, or node objects.
+
+    The baseline ``duration`` vector captured at compile time is one
+    valid timing; :meth:`retime` derives fresh vectors from a timing
+    table via the per-task ``slot`` keys the builder recorded, which is
+    what makes retime-without-rebuild sweeps possible.
+
+    Attributes:
+        num_tasks / num_devices / num_edges: Sizes.
+        task_id: Original task id at each replay position (``intp``).
+        device: Executing device per position (``intp``).
+        kinds: Distinct kind tags, in first-appearance order.
+        kind_index: Index into ``kinds`` per position (``intp``).
+        child_ptr / child_idx: CSR adjacency over replay positions —
+            children of position ``k`` are
+            ``child_idx[child_ptr[k]:child_ptr[k + 1]]``.
+        duration: Baseline durations per position (``float64``,
+            read-only).
+        stream / label / payload: Per-position tuples (used only when a
+            replay records its timeline, or by retiming consumers).
+            Note that on a structure served from the process-wide cache
+            these are *representative* of the build that compiled it —
+            payloads in particular may belong to a different plan with
+            the same topology. Consumers needing exact per-plan
+            operators must resolve through ``slot_keys`` against their
+            own builder (see ``GraphBuilder.slot_kernel_counts``).
+        slot_keys: Distinct timing-slot keys, or ``None`` when the
+            source assembler recorded no slots.
+        slot_index: Index into ``slot_keys`` per position, or ``None``.
+        metadata: The source graph's metadata (replays may override).
+    """
+
+    def __init__(self, *, task_ids: list[int], device_ids: list[int],
+                 kinds: tuple[str, ...], kind_ids: list[int],
+                 children: list[list[int]], duration_view: list[float],
+                 stream: tuple[str, ...], label: tuple[str, ...],
+                 payload: tuple[Any, ...], num_devices: int,
+                 device_kind_order: tuple[tuple[int, ...], ...],
+                 slot_keys: tuple[str, ...] | None,
+                 slot_ids: list[int] | None,
+                 metadata: dict[str, Any]) -> None:
+        num_tasks = len(task_ids)
+        self.num_tasks = num_tasks
+        self.num_devices = num_devices
+        # Python-native views for the replay hot loop (plain-list
+        # iteration beats CSR index arithmetic in CPython; the CSR
+        # arrays below stay the canonical, exportable representation).
+        self.task_ids = task_ids
+        self.device_ids = device_ids
+        self.children_view = children
+        self.duration_view = duration_view
+        self.kinds = kinds
+        self.stream = stream
+        self.label = label
+        self.payload = payload
+        self.metadata = metadata
+        # Flat-array form: per-task attributes and CSR adjacency.
+        self.task_id = np.array(task_ids, dtype=np.intp)
+        self.device = np.array(device_ids, dtype=np.intp)
+        self.kind_index = np.array(kind_ids, dtype=np.intp)
+        self.duration = np.array(duration_view, dtype=np.float64)
+        self.duration.setflags(write=False)
+        child_ptr = np.zeros(num_tasks + 1, dtype=np.intp)
+        if num_tasks:
+            np.cumsum(np.fromiter(map(len, children), dtype=np.intp,
+                                  count=num_tasks), out=child_ptr[1:])
+        self.child_ptr = child_ptr
+        num_edges = int(child_ptr[-1])
+        self.num_edges = num_edges
+        self.child_idx = np.fromiter(
+            (child for kids in children for child in kids),
+            dtype=np.intp, count=num_edges)
+        # Flat (device, kind) bucket per position for one-pass busy
+        # accounting; device_kind_order lists each device's kinds in
+        # first-appearance order so replay results reproduce the
+        # reference engine's dict layout.
+        self.busy_index = self.device * len(kinds) + self.kind_index
+        self.device_kind_order = device_kind_order
+        self.slot_keys = slot_keys
+        self.slot_index = (np.array(slot_ids, dtype=np.intp)
+                           if slot_ids is not None else None)
+
+    @classmethod
+    def compile(cls, graph: ExecutionGraph,
+                slots: list[str | None] | None = None) -> "GraphStructure":
+        """Flatten ``graph`` into its compiled replay form.
+
+        (Builders that only need the compiled form should prefer a
+        :class:`FlatAssembler`, which skips node objects entirely.)
+
+        Args:
+            slots: Per-task timing-slot keys in *original* task order
+                (from :attr:`GraphAssembler.slots`); omit (or include
+                any ``None``) to compile a structure that replays but
+                cannot :meth:`retime` by slot.
+
+        Raises:
+            SimulationError: If the graph contains a dependency cycle
+                (reported with the reference engine's deadlock message).
+        """
+        nodes = graph.nodes
+        num_tasks = len(nodes)
+        children = [node.children for node in nodes]
+        order = _replay_order(children,
+                              [node.num_parents for node in nodes])
+        if len(order) != num_tasks:
+            raise SimulationError(
+                f"task graph deadlocked: {len(order)}/{num_tasks} tasks "
+                "executed (dependency cycle)")
+        return cls._from_columns(
+            order=order,
+            device=[node.device for node in nodes],
+            stream=[node.stream for node in nodes],
+            duration=[node.duration for node in nodes],
+            kind=[node.kind for node in nodes],
+            label=[node.label for node in nodes],
+            payload=[node.payload for node in nodes],
+            children=children,
+            slots=slots,
+            num_devices=graph.num_devices,
+            metadata=dict(graph.metadata))
+
+    @classmethod
+    def _from_columns(cls, *, order: list[int], device: list[int],
+                      stream: list[str], duration: list[float],
+                      kind: list[str], label: list[str],
+                      payload: list[Any], children: list[list[int]],
+                      slots: list[str | None] | None, num_devices: int,
+                      metadata: dict[str, Any]) -> "GraphStructure":
+        """Permute original-order columns into a replay-order structure."""
+        num_tasks = len(device)
+        position = [0] * num_tasks
+        for pos, task in enumerate(order):
+            position[task] = pos
+
+        use_slots = (slots is not None and len(slots) == num_tasks
+                     and None not in slots)
+        kinds: list[str] = []
+        kind_of: dict[str, int] = {}
+        slot_list: list[str] = []
+        slot_of: dict[str, int] = {}
+        device_ids: list[int] = []
+        kind_ids: list[int] = []
+        durations: list[float] = []
+        streams: list[str] = []
+        labels: list[str] = []
+        payloads: list[Any] = []
+        children_view: list[list[int]] = []
+        slot_ids: list[int] | None = [] if use_slots else None
+        kind_order: list[list[int]] = [[] for _ in range(num_devices)]
+        seen_busy: set[tuple[int, int]] = set()
+
+        for task in order:
+            dev = device[task]
+            device_ids.append(dev)
+            kind_id = kind_of.get(kind[task])
+            if kind_id is None:
+                kind_id = kind_of[kind[task]] = len(kinds)
+                kinds.append(kind[task])
+            kind_ids.append(kind_id)
+            if (dev, kind_id) not in seen_busy:
+                seen_busy.add((dev, kind_id))
+                kind_order[dev].append(kind_id)
+            durations.append(duration[task])
+            streams.append(stream[task])
+            labels.append(label[task])
+            payloads.append(payload[task])
+            children_view.append([position[child]
+                                  for child in children[task]])
+            if slot_ids is not None:
+                slot_key = slots[task]
+                slot = slot_of.get(slot_key)
+                if slot is None:
+                    slot = slot_of[slot_key] = len(slot_list)
+                    slot_list.append(slot_key)
+                slot_ids.append(slot)
+
+        return cls(
+            task_ids=order,
+            device_ids=device_ids,
+            kinds=tuple(kinds),
+            kind_ids=kind_ids,
+            children=children_view,
+            duration_view=durations,
+            stream=tuple(streams),
+            label=tuple(labels),
+            payload=tuple(payloads),
+            num_devices=num_devices,
+            device_kind_order=tuple(tuple(order_) for order_ in kind_order),
+            slot_keys=tuple(slot_list) if use_slots else None,
+            slot_ids=slot_ids,
+            metadata=metadata)
+
+    def retime(self, timings: Mapping[str, float]) -> np.ndarray:
+        """Duration vector (replay order) from a fresh timing table.
+
+        Args:
+            timings: Slot key -> duration in seconds. Must cover every
+                slot key this structure references.
+
+        Raises:
+            SimulationError: If the structure was compiled without slot
+                keys, or ``timings`` is missing one of them.
+        """
+        if self.slot_keys is None or self.slot_index is None:
+            raise SimulationError(
+                "structure was compiled without timing slots; "
+                "pass an explicit duration vector instead")
+        try:
+            values = [timings[key] for key in self.slot_keys]
+        except KeyError as exc:
+            raise SimulationError(
+                f"timing table is missing slot {exc.args[0]!r}; the "
+                "structure does not match this builder") from exc
+        return np.asarray(values, dtype=np.float64)[self.slot_index]
+
+    def nbytes_estimate(self) -> int:
+        """Rough memory footprint (cache budgeting)."""
+        arrays = (self.task_id, self.device, self.kind_index,
+                  self.child_ptr, self.child_idx, self.duration,
+                  self.busy_index)
+        total = sum(array.nbytes for array in arrays)
+        if self.slot_index is not None:
+            total += self.slot_index.nbytes
+        # Tuples, label strings, and the children view dominate beyond
+        # the arrays; ~200 bytes/task is a measured ballpark.
+        return total + 200 * self.num_tasks

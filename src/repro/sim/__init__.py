@@ -5,8 +5,10 @@ from repro.sim.analysis import (DeviceProfile, critical_device,
                                 pipeline_bubble_time,
                                 stage_utilization_profile, summarize)
 from repro.sim.engine import (compute_idle_fraction, critical_path_length,
-                              simulate, stream_serialisation_check)
-from repro.sim.estimator import (VTrain, cost_for_utilization,
+                              simulate, simulate_reference, simulate_retimed,
+                              stream_serialisation_check)
+from repro.sim.estimator import (PredictTiming, PreparedPlan, VTrain,
+                                 cost_for_utilization,
                                  training_days_for_utilization)
 from repro.sim.results import (IterationPrediction, SimulationResult,
                                TimelineEvent, TrainingEstimate)
@@ -20,6 +22,8 @@ __all__ = [
     "stage_utilization_profile",
     "summarize",
     "IterationPrediction",
+    "PredictTiming",
+    "PreparedPlan",
     "SimulationResult",
     "TimelineEvent",
     "TrainingEstimate",
@@ -28,6 +32,8 @@ __all__ = [
     "cost_for_utilization",
     "critical_path_length",
     "simulate",
+    "simulate_reference",
+    "simulate_retimed",
     "stream_serialisation_check",
     "training_days_for_utilization",
 ]

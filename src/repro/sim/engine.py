@@ -1,7 +1,7 @@
 """Algorithm 1: replaying the task-granularity execution graph.
 
-Implements the paper's simulation algorithm verbatim: initialise a
-per-GPU timeline and a FIFO task queue with all dependency-free tasks;
+Implements the paper's simulation algorithm: initialise a per-GPU
+timeline and a FIFO task queue with all dependency-free tasks;
 repeatedly pop a task, advance its device's timeline to
 ``max(T[i], start + duration)``, propagate the finish time to children,
 decrement their reference counts, and enqueue newly-ready tasks. The
@@ -13,25 +13,52 @@ so a gradient-bucket All-Reduce's start time is bound only by its data
 dependency, letting it run concurrently with backward compute — exactly
 the behaviour line 12 of Algorithm 1 must "faithfully model".
 
-The engine never mutates the graph, so one built graph can be replayed
-many times (e.g. with scaled durations for sensitivity studies).
+Two engines implement the algorithm:
+
+* :func:`simulate_reference` — the verbatim per-task Python loop over
+  :class:`~repro.graph.structure.TaskNode` objects, kept as the
+  executable specification and equivalence-test oracle.
+* :func:`simulate` / :func:`simulate_retimed` — the compiled engine.
+  The FIFO pop order of Algorithm 1 is purely structural (durations
+  never change which task is popped next), so it is precomputed once
+  when a graph is compiled into a
+  :class:`~repro.graph.structure.GraphStructure`; replay is then a
+  single array pass in that order — no dicts, no deque, no per-task
+  object churn, :class:`~repro.sim.results.TimelineEvent` objects
+  materialized only when ``record_timeline=True``. Results are
+  bit-identical to the reference engine (same floating-point operations
+  in the same order; see ``tests/test_sim_equivalence.py``).
+
+Neither engine mutates the graph, so one built graph can be replayed
+many times — and one *compiled structure* can be replayed with many
+duration vectors (``simulate_retimed``), which is what design-space
+sweeps and perturbed-hardware studies exploit.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.errors import SimulationError
-from repro.graph.structure import COMPUTE_STREAM, ExecutionGraph
+from repro.graph.structure import (COMPUTE_STREAM, ExecutionGraph,
+                                   GraphStructure)
 from repro.sim.results import SimulationResult, TimelineEvent
 
 
-def simulate(graph: ExecutionGraph, *,
+def simulate(graph: ExecutionGraph | GraphStructure, *,
              record_timeline: bool = False) -> SimulationResult:
     """Estimate single-iteration training time from a task graph.
 
+    Compiles the graph into its :class:`GraphStructure` replay form
+    (memoized on the graph object) and replays it with the compiled
+    engine. Results are bit-identical to :func:`simulate_reference`.
+
     Args:
-        graph: Execution graph from :class:`~repro.graph.builder.GraphBuilder`.
+        graph: Execution graph from
+            :class:`~repro.graph.builder.GraphBuilder`, or an
+            already-compiled :class:`GraphStructure`.
         record_timeline: Also record per-task (start, finish) events —
             costs memory on large graphs, invaluable for tests and traces.
 
@@ -42,6 +69,122 @@ def simulate(graph: ExecutionGraph, *,
     Raises:
         SimulationError: If the graph contains a dependency cycle (some
             tasks never become ready).
+    """
+    if isinstance(graph, GraphStructure):
+        return simulate_retimed(graph, record_timeline=record_timeline)
+    if len(graph.nodes) == 0:
+        raise SimulationError("cannot simulate an empty graph")
+    structure = graph.compiled()
+    # The compiled topology is memoized on the graph, but durations are
+    # re-read from the nodes every call: replaying one graph with
+    # scaled/mutated durations (sensitivity studies) must see the
+    # current values, exactly as the reference engine does.
+    nodes = graph.nodes
+    durations = [nodes[task].duration for task in structure.task_ids]
+    return simulate_retimed(structure, durations,
+                            record_timeline=record_timeline,
+                            metadata=graph.metadata)
+
+
+def simulate_retimed(structure: GraphStructure,
+                     durations: "np.ndarray | list[float] | None" = None, *,
+                     record_timeline: bool = False,
+                     metadata: dict | None = None) -> SimulationResult:
+    """Replay a compiled structure under a given duration vector.
+
+    This is the compiled engine's core: one pass over the precomputed
+    replay order propagating finish times through the CSR child arrays,
+    then vectorized reductions for the per-device timelines and busy
+    accounting. Sweeps that only change task *timings* (micro-batch
+    size re-timing, perturbed device/NCCL models, testbed noise) call
+    this directly and skip graph construction entirely.
+
+    Args:
+        structure: Compiled topology
+            (:meth:`~repro.graph.structure.GraphStructure.compile` or
+            :meth:`~repro.graph.builder.GraphBuilder.compile`).
+        durations: Per-task durations in *replay order* (as produced by
+            :meth:`~repro.graph.structure.GraphStructure.retime`).
+            Defaults to the structure's baseline durations.
+        record_timeline: Materialize per-task TimelineEvents.
+        metadata: Override the result metadata (defaults to the
+            structure's compile-time metadata).
+
+    Raises:
+        SimulationError: Empty structure, wrong-length duration vector,
+            or negative durations.
+    """
+    num_tasks = structure.num_tasks
+    if num_tasks == 0:
+        raise SimulationError("cannot simulate an empty graph")
+    if durations is None or durations is structure.duration:
+        durations_np = structure.duration
+        duration_list = structure.duration_view
+    else:
+        durations_np = np.asarray(durations, dtype=np.float64)
+        if durations_np.shape != (num_tasks,):
+            raise SimulationError(
+                f"duration vector has {durations_np.shape} entries, "
+                f"structure has {num_tasks} tasks")
+        if durations_np.size and float(durations_np.min()) < 0.0:
+            raise SimulationError("durations must be non-negative")
+        duration_list = durations_np.tolist()
+
+    # Hot loop: finish-time propagation in precompiled replay order.
+    # Children always sit at later positions, so each task's start is
+    # final when visited. Same float operations in the same order as
+    # the reference engine's queue loop.
+    start = [0.0] * num_tasks
+    position = 0
+    for children in structure.children_view:
+        finish = start[position] + duration_list[position]
+        for child in children:
+            if start[child] < finish:
+                start[child] = finish
+        position += 1
+
+    finish_np = np.asarray(start, dtype=np.float64) + durations_np
+    makespan = float(finish_np.max())
+    num_devices = structure.num_devices
+    num_kinds = len(structure.kinds)
+    timeline_np = np.zeros(num_devices, dtype=np.float64)
+    np.maximum.at(timeline_np, structure.device, finish_np)
+    busy_flat = np.bincount(structure.busy_index, weights=durations_np,
+                            minlength=num_devices * num_kinds).tolist()
+
+    timeline = dict(enumerate(timeline_np.tolist()))
+    kinds = structure.kinds
+    busy = {device: {kinds[kind]: busy_flat[device * num_kinds + kind]
+                     for kind in structure.device_kind_order[device]}
+            for device in range(num_devices)}
+
+    events: list[TimelineEvent] | None = None
+    if record_timeline:
+        events = [
+            TimelineEvent(task_id=task_id, device=device, stream=stream,
+                          kind=kinds[kind], label=label, start=task_start,
+                          finish=task_finish)
+            for task_id, device, stream, kind, label, task_start, task_finish
+            in zip(structure.task_ids, structure.device_ids,
+                   structure.stream, structure.kind_index.tolist(),
+                   structure.label, start, finish_np.tolist())]
+
+    source = structure.metadata if metadata is None else metadata
+    return SimulationResult(iteration_time=makespan, num_tasks=num_tasks,
+                            device_timeline=timeline, device_busy=busy,
+                            events=events, metadata=dict(source))
+
+
+def simulate_reference(graph: ExecutionGraph, *,
+                       record_timeline: bool = False) -> SimulationResult:
+    """Reference Algorithm-1 implementation (per-task Python loop).
+
+    Kept verbatim as the executable specification: the compiled engine
+    (:func:`simulate` / :func:`simulate_retimed`) must be bit-identical
+    to this on makespan, per-device timelines, busy accounting, and
+    recorded event order (property-tested in
+    ``tests/test_sim_equivalence.py``). Prefer :func:`simulate` for
+    anything performance-sensitive.
     """
     nodes = graph.nodes
     num_tasks = len(nodes)
@@ -57,7 +200,7 @@ def simulate(graph: ExecutionGraph, *,
                                   for device in range(graph.num_devices)}
     busy: dict[int, dict[str, float]] = {
         device: {} for device in range(graph.num_devices)}
-    events: list[TimelineEvent] = [] if record_timeline else None
+    events: list[TimelineEvent] | None = [] if record_timeline else None
     executed = 0
     makespan = 0.0
 

@@ -17,22 +17,75 @@ story.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
 from repro.config.description import InputDescription
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
 from repro.config.system import SystemConfig
 from repro.cost.pricing import (DEFAULT_PRICING, SECONDS_PER_DAY,
                                 SECONDS_PER_HOUR, PricingModel)
-from repro.graph.builder import Granularity, GraphBuilder
-from repro.graph.structure import ExecutionGraph
+from repro.errors import SimulationError
+from repro.graph.builder import (Granularity, GraphBuilder,
+                                 structure_cache_evict, structure_cache_get,
+                                 structure_cache_put)
+from repro.graph.structure import ExecutionGraph, GraphStructure
 from repro.hardware.kernels import DeviceModel
 from repro.memory.footprint import check_memory, memory_footprint
 from repro.network.model import nccl_model_for
 from repro.profiling.cupti import CuptiTracer
 from repro.profiling.lookup import OperatorToTaskTable
 from repro.profiling.nccl import NcclModel
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate_retimed
 from repro.sim.results import IterationPrediction, TrainingEstimate
+
+
+@dataclass(frozen=True)
+class PredictTiming:
+    """Phase breakdown of one :meth:`VTrain.predict` call (seconds).
+
+    ``structure_s`` is graph assembly + compilation when the structure
+    cache missed, ``0.0`` on a hit; ``fill_s`` is the slot-broadcast
+    duration refill (hits only). Surfaced by ``repro predict --timing``.
+    """
+
+    memory_check_s: float
+    structure_s: float
+    fill_s: float
+    replay_s: float
+    total_s: float
+    structure_cache_hit: bool
+
+    @property
+    def structure_source(self) -> str:
+        """Where the replay topology came from."""
+        return "cache hit" if self.structure_cache_hit else "built"
+
+
+@dataclass(frozen=True)
+class PreparedPlan:
+    """A compiled, timed plan ready for (re-)replay.
+
+    ``durations`` is in the structure's replay order; consumers such as
+    the testbed emulator perturb it and call
+    :func:`~repro.sim.engine.simulate_retimed` without ever rebuilding
+    the graph. ``builder`` is the plan's own (graph-free) builder —
+    resolve anything plan-specific (timing table, per-slot kernel
+    counts) through it, not through the cached structure's
+    representative ``payload`` objects, which may originate from a
+    different build sharing the same topology.
+    """
+
+    structure: GraphStructure
+    durations: np.ndarray
+    metadata: dict
+    builder: GraphBuilder
+    structure_cache_hit: bool
+    structure_s: float
+    fill_s: float
 
 
 class VTrain:
@@ -72,6 +125,9 @@ class VTrain:
         self.check_memory_feasibility = check_memory_feasibility
         self.zero1_sharding = zero1_sharding
         self.num_predictions = 0
+        self.structure_cache_hits = 0
+        self.structure_cache_misses = 0
+        self.last_predict_timing: PredictTiming | None = None
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -82,6 +138,52 @@ class VTrain:
         builder = GraphBuilder(model, self.system, plan, training,
                                self.lookup, self.nccl, self.granularity)
         return builder.build()
+
+    def prepare(self, model: ModelConfig, plan: ParallelismConfig,
+                training: TrainingConfig) -> PreparedPlan:
+        """Compiled structure + durations for one plan, ready to replay.
+
+        Consults the process-wide structure cache: on a hit only the
+        duration vector is refilled from this builder's timing table
+        (retime-without-rebuild); on a miss the graph is assembled,
+        compiled, and cached for every later predict that shares its
+        structural fingerprint — across micro-batch sizes, parallel
+        degrees, systems, and VTrain instances alike.
+        """
+        builder = GraphBuilder(model, self.system, plan, training,
+                               self.lookup, self.nccl, self.granularity)
+        key = builder.structure_key
+        structure = structure_cache_get(key)
+        cache_hit = structure is not None
+        build_s = 0.0
+        fill_s = 0.0
+        if structure is not None:
+            tick = time.perf_counter()
+            try:
+                durations = builder.fill_durations(structure)
+            except SimulationError:
+                # Structural drift the fingerprint failed to capture:
+                # drop the stale entry and rebuild from scratch.
+                structure_cache_evict(key)
+                structure = None
+                cache_hit = False
+            else:
+                fill_s = time.perf_counter() - tick
+        if structure is None:
+            tick = time.perf_counter()
+            structure = builder.compile()
+            build_s = time.perf_counter() - tick
+            structure_cache_put(key, structure)
+            durations = structure.duration
+        if cache_hit:
+            self.structure_cache_hits += 1
+        else:
+            self.structure_cache_misses += 1
+        return PreparedPlan(structure=structure, durations=durations,
+                            metadata=builder.graph_metadata(),
+                            builder=builder,
+                            structure_cache_hit=cache_hit,
+                            structure_s=build_s, fill_s=fill_s)
 
     # ------------------------------------------------------------------
     # Prediction
@@ -96,14 +198,27 @@ class VTrain:
                 checking is enabled) per-GPU memory overflow.
         """
         self.num_predictions += 1
+        started = time.perf_counter()
         if self.check_memory_feasibility:
             footprint = check_memory(model, plan, training, self.system,
                                      zero1_sharding=self.zero1_sharding)
         else:
             footprint = memory_footprint(model, plan, training,
                                          zero1_sharding=self.zero1_sharding)
-        graph = self.build_graph(model, plan, training)
-        result = simulate(graph, record_timeline=record_timeline)
+        memory_s = time.perf_counter() - started
+        prepared = self.prepare(model, plan, training)
+        tick = time.perf_counter()
+        result = simulate_retimed(prepared.structure, prepared.durations,
+                                  record_timeline=record_timeline,
+                                  metadata=prepared.metadata)
+        replay_s = time.perf_counter() - tick
+        self.last_predict_timing = PredictTiming(
+            memory_check_s=memory_s,
+            structure_s=prepared.structure_s,
+            fill_s=prepared.fill_s,
+            replay_s=replay_s,
+            total_s=time.perf_counter() - started,
+            structure_cache_hit=prepared.structure_cache_hit)
         tokens = training.tokens_per_iteration(model)
         model_flops = model.model_flops_per_iteration(tokens)
         peak = plan.total_gpus * self.system.gpu.peak_fp16_flops
@@ -157,12 +272,15 @@ class VTrain:
     # ------------------------------------------------------------------
     @property
     def profiling_stats(self) -> dict[str, int]:
-        """Necessary-operator counters proving the O(1) profiling cost."""
+        """Necessary-operator counters proving the O(1) profiling cost,
+        plus this instance's structure-cache hit/miss split."""
         return {
             "operators_profiled": self.lookup.num_profiled,
             "lookups_served_from_table": self.lookup.num_reused,
             "kernels_traced": self.tracer.stats.kernels_traced,
             "predictions": self.num_predictions,
+            "structure_cache_hits": self.structure_cache_hits,
+            "structure_cache_misses": self.structure_cache_misses,
         }
 
 

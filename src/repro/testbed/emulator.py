@@ -33,12 +33,12 @@ from repro.config.system import SystemConfig
 from repro.errors import ConfigError
 from repro.graph.builder import Granularity
 from repro.graph.operators import CompOperator
-from repro.graph.structure import (ExecutionGraph, KIND_COMPUTE, KIND_DP_COMM,
+from repro.graph.structure import (GraphStructure, KIND_COMPUTE, KIND_DP_COMM,
                                    KIND_PP_COMM, KIND_TP_COMM,
-                                   KIND_WEIGHT_UPDATE, TaskNode)
+                                   KIND_WEIGHT_UPDATE)
 from repro.hardware.cluster import ClusterTopology
 from repro.hardware.interconnect import LinkType
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate_retimed
 from repro.sim.estimator import VTrain
 from repro.testbed import noise
 
@@ -135,11 +135,21 @@ class TestbedEmulator:
     # ------------------------------------------------------------------
     def measure(self, model: ModelConfig, plan: ParallelismConfig,
                 training: TrainingConfig) -> MeasuredIteration:
-        """Run one "real" training iteration and report its wall time."""
-        graph = self._vtrain.build_graph(model, plan, training)
+        """Run one "real" training iteration and report its wall time.
+
+        Uses the retime-without-rebuild path: the compiled graph
+        structure comes from the shared structure cache and only the
+        duration vector is perturbed per measurement, so validation
+        campaigns re-measuring one model under many plans never rebuild
+        a graph they already compiled.
+        """
+        prepared = self._vtrain.prepare(model, plan, training)
         session = self._session_key(model, plan, training)
-        perturbed = self._perturb(graph, model, plan, session)
-        result = simulate(perturbed)
+        perturbed = self._perturb(prepared.structure, prepared.durations,
+                                  self._kernel_counts(prepared),
+                                  model, plan, session)
+        result = simulate_retimed(prepared.structure, perturbed,
+                                  metadata=prepared.metadata)
         overhead = self.config.iteration_overhead * noise.one_sided(
             session + "/iter_overhead", 1.0)
         if ClusterTopology(self.system, plan).num_nodes_used() > 1:
@@ -169,11 +179,25 @@ class TestbedEmulator:
                 f"x{model.seq_length}x{model.num_heads}"
                 f"/{plan.describe()}/B{training.global_batch_size}")
 
-    def _num_kernels(self, node: TaskNode) -> int:
-        """Kernel count behind a task (for launch-overhead accounting)."""
-        if isinstance(node.payload, CompOperator):
-            return len(self._vtrain.lookup.tasks_for(node.payload))
-        return 1
+    def _kernel_counts(self, prepared) -> list[int]:
+        """Per-task kernel counts (launch-overhead accounting), in
+        replay order, resolved for the plan being measured.
+
+        Counts come from the prepared plan's *own* builder via timing
+        slots — a cached structure's ``payload`` objects may belong to
+        a different build with the same topology (e.g. another
+        recompute mode, which changes kernel counts), so they are only
+        used as a fallback for slot-less structures.
+        """
+        structure = prepared.structure
+        if structure.slot_keys is not None and structure.slot_index is not None:
+            table = prepared.builder.slot_kernel_counts()
+            per_slot = [table.get(key, 1) for key in structure.slot_keys]
+            return [per_slot[slot]
+                    for slot in structure.slot_index.tolist()]
+        return [len(self._vtrain.lookup.tasks_for(payload))
+                if isinstance(payload, CompOperator) else 1
+                for payload in structure.payload]
 
     def _straggler(self, session: str, device: int, num_peers: int) -> float:
         """Slowdown of the slowest folded replica of one logical stage.
@@ -189,12 +213,13 @@ class TestbedEmulator:
                                    self.config.straggler_sigma)
                    for i in range(samples))
 
-    def _perturb(self, graph: ExecutionGraph, model: ModelConfig,
-                 plan: ParallelismConfig, session: str) -> ExecutionGraph:
-        """Return a copy of the graph with testbed effects applied."""
+    def _perturb(self, structure: GraphStructure, durations,
+                 kernel_counts: list[int], model: ModelConfig,
+                 plan: ParallelismConfig, session: str) -> list[float]:
+        """Testbed-perturbed duration vector (replay order) for one run."""
         cfg = self.config
-        self._model_key = (f"{model.hidden_size}x{model.num_layers}"
-                           f"x{model.seq_length}")
+        model_key = (f"{model.hidden_size}x{model.num_layers}"
+                     f"x{model.seq_length}")
         topology = ClusterTopology(self.system, plan)
         dp_link = topology.data_link() if plan.data > 1 else None
         dp_groups = (topology.concurrent_data_groups_per_node()
@@ -209,10 +234,10 @@ class TestbedEmulator:
             # node boundaries (Section IV, multi-node error discussion).
             stage_straggler = {
                 device: self._straggler(session, device, plan.data)
-                for device in range(graph.num_devices)}
+                for device in range(structure.num_devices)}
         else:
             stage_straggler = {device: 1.0
-                               for device in range(graph.num_devices)}
+                               for device in range(structure.num_devices)}
         # NCCL All-Reduce kernels occupy SMs, slowing the compute they
         # overlap with; only inter-node DP traffic lives long enough for
         # this to matter.
@@ -226,39 +251,37 @@ class TestbedEmulator:
         # campaign-level scatter (Figure 9) persists.
         spread = (cfg.multinode_calibration_spread if multi_node_plan
                   else cfg.compute_calibration_spread)
-        allocation_key = (f"{cfg.seed}/allocation/{self._model_key}"
+        allocation_key = (f"{cfg.seed}/allocation/{model_key}"
                           f"/{topology.num_nodes_used()}nodes")
         calibration = noise.jitter(allocation_key, spread)
 
-        new_nodes: list[TaskNode] = []
-        for node in graph.nodes:
-            duration = node.duration
-            key = f"{session}/{node.label}"
-            if node.kind in (KIND_COMPUTE, KIND_WEIGHT_UPDATE):
+        kinds = structure.kinds
+        perturbed: list[float] = []
+        for duration, kind_index, label, device, num_kernels in zip(
+                durations.tolist(), structure.kind_index.tolist(),
+                structure.label, structure.device_ids, kernel_counts):
+            kind = kinds[kind_index]
+            key = f"{session}/{label}"
+            if kind in (KIND_COMPUTE, KIND_WEIGHT_UPDATE):
                 duration *= noise.jitter(key, cfg.kernel_jitter)
-                duration *= stage_straggler[node.device] * sm_penalty
+                duration *= stage_straggler[device] * sm_penalty
                 duration *= calibration
-                duration += launch * self._num_kernels(node)
-            elif node.kind == KIND_TP_COMM:
+                duration += launch * num_kernels
+            elif kind == KIND_TP_COMM:
                 factor = (cfg.nccl_interference
                           + cfg.tensor_parallel_extra_interference)
                 duration *= factor * noise.jitter(key, cfg.kernel_jitter)
                 duration += launch
-            elif node.kind == KIND_DP_COMM:
+            elif kind == KIND_DP_COMM:
                 if dp_link is LinkType.INTRA_NODE:
                     duration *= cfg.nccl_interference
                 else:
                     duration *= dp_contention
-                    duration *= stage_straggler[node.device]
+                    duration *= stage_straggler[device]
                 duration *= noise.jitter(key, cfg.kernel_jitter)
                 duration += launch
-            elif node.kind == KIND_PP_COMM:
+            elif kind == KIND_PP_COMM:
                 duration *= noise.jitter(key, cfg.kernel_jitter)
                 duration += launch
-            new_nodes.append(TaskNode(
-                task_id=node.task_id, device=node.device, stream=node.stream,
-                duration=duration, kind=node.kind, label=node.label,
-                children=node.children, num_parents=node.num_parents,
-                payload=node.payload))
-        return ExecutionGraph(nodes=new_nodes, num_devices=graph.num_devices,
-                              metadata=dict(graph.metadata))
+            perturbed.append(duration)
+        return perturbed

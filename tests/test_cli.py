@@ -46,6 +46,21 @@ class TestPredict:
                      "--granularity", "stage"]) == 0
         assert "iteration time" in capsys.readouterr().out
 
+    def test_predict_timing_flag_prints_phase_breakdown(
+            self, description_file, capsys):
+        assert main(["predict", str(description_file), "--timing"]) == 0
+        out = capsys.readouterr().out
+        assert "timing breakdown" in out
+        for phase in ("memory check", "structure", "duration fill",
+                      "replay", "total"):
+            assert phase in out
+        assert "built" in out or "cache hit" in out
+
+    def test_predict_without_timing_flag_omits_breakdown(
+            self, description_file, capsys):
+        assert main(["predict", str(description_file)]) == 0
+        assert "timing breakdown" not in capsys.readouterr().out
+
     def test_invalid_description_fails_cleanly(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"model": {}}))

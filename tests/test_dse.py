@@ -134,6 +134,32 @@ class TestExplorer:
         assert times == sorted(times)
         assert costs == sorted(costs, reverse=True)
 
+    def test_selection_prices_each_point_once(self, model, training):
+        """best_by_cost / pareto_frontier evaluate the pricing model
+        O(n) times, not once per sort comparison."""
+        from repro.cost.pricing import PricingModel
+
+        class CountingPricing(PricingModel):
+            calls = 0
+
+            def cost(self, num_gpus, seconds):
+                type(self).calls += 1
+                return super().cost(num_gpus, seconds)
+
+        explorer = DesignSpaceExplorer(model, training)
+        result = explorer.explore(max_gpus=16)
+        n = result.num_feasible
+        assert n > 2
+
+        pricing = CountingPricing()
+        CountingPricing.calls = 0
+        result.best_by_cost(pricing=pricing)
+        assert CountingPricing.calls == n
+
+        CountingPricing.calls = 0
+        result.pareto_frontier(pricing=pricing)
+        assert CountingPricing.calls == n
+
     def test_network_threads_into_derived_systems(self, model, training):
         space = SearchSpace(max_tensor=4, max_data=4, max_pipeline=2,
                             micro_batch_sizes=(1,))

@@ -4,8 +4,8 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.graph.structure import (COMM_STREAM, COMPUTE_STREAM,
-                                   GraphAssembler, KIND_COMPUTE,
-                                   KIND_DP_COMM)
+                                   GraphAssembler, GraphStructure,
+                                   KIND_COMPUTE, KIND_DP_COMM)
 
 
 class TestAssembler:
@@ -105,3 +105,125 @@ class TestExecutionGraph:
         assert nx_graph.number_of_edges() == 4
         import networkx as nx
         assert nx.is_directed_acyclic_graph(nx_graph)
+
+    def test_device_out_of_range_rejected_at_build(self):
+        """A task on a device >= num_devices is a build-time error (the
+        old engine silently invented timeline entries for it)."""
+        asm = GraphAssembler()
+        asm.add(2, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "ghost")
+        with pytest.raises(SimulationError, match="device 2"):
+            asm.finish(num_devices=2)
+
+    def test_negative_device_rejected_at_build(self):
+        asm = GraphAssembler()
+        asm.add(-1, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "ghost")
+        with pytest.raises(SimulationError, match="device -1"):
+            asm.finish(num_devices=2)
+
+
+class TestGraphStructure:
+    def _diamond(self):
+        asm = GraphAssembler()
+        a = asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "a", chain=False,
+                    slot="x")
+        b = asm.add(0, COMM_STREAM, 2.0, KIND_DP_COMM, "b", deps=(a,),
+                    chain=False, slot="y")
+        c = asm.add(1, COMPUTE_STREAM, 3.0, KIND_COMPUTE, "c", deps=(a,),
+                    chain=False, slot="x")
+        asm.add(1, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "d", deps=(b, c),
+                chain=False, slot="z")
+        return asm, asm.finish(num_devices=2)
+
+    def test_replay_order_is_topological(self):
+        asm, graph = self._diamond()
+        structure = GraphStructure.compile(graph, slots=asm.slots)
+        position = {task: pos
+                    for pos, task in enumerate(structure.task_id.tolist())}
+        for node in graph.nodes:
+            for child in node.children:
+                assert position[node.task_id] < position[child]
+
+    def test_csr_arrays_consistent(self):
+        asm, graph = self._diamond()
+        structure = GraphStructure.compile(graph, slots=asm.slots)
+        ptr = structure.child_ptr.tolist()
+        assert ptr[0] == 0
+        assert ptr[-1] == structure.num_edges == graph.num_edges
+        assert all(lo <= hi for lo, hi in zip(ptr, ptr[1:]))
+        for pos, children in enumerate(structure.children_view):
+            lo, hi = ptr[pos], ptr[pos + 1]
+            assert structure.child_idx.tolist()[lo:hi] == list(children)
+
+    def test_slots_interned_and_retimed(self):
+        asm, graph = self._diamond()
+        structure = GraphStructure.compile(graph, slots=asm.slots)
+        assert set(structure.slot_keys) == {"x", "y", "z"}
+        durations = structure.retime({"x": 5.0, "y": 6.0, "z": 7.0})
+        by_task = dict(zip(structure.task_id.tolist(), durations.tolist()))
+        assert by_task == {0: 5.0, 1: 6.0, 2: 5.0, 3: 7.0}
+
+    def test_retime_missing_slot_raises(self):
+        asm, graph = self._diamond()
+        structure = GraphStructure.compile(graph, slots=asm.slots)
+        with pytest.raises(SimulationError, match="missing slot"):
+            structure.retime({"x": 5.0})
+
+    def test_missing_slots_disable_retime(self):
+        _, graph = self._diamond()
+        structure = GraphStructure.compile(graph)  # no slots recorded
+        assert structure.slot_keys is None
+        with pytest.raises(SimulationError, match="slot"):
+            structure.retime({"x": 1.0})
+
+    def test_baseline_durations_read_only(self):
+        asm, graph = self._diamond()
+        structure = GraphStructure.compile(graph, slots=asm.slots)
+        with pytest.raises(ValueError):
+            structure.duration[0] = 99.0
+
+
+class TestStructureCache:
+    def test_put_get_and_stats(self):
+        from repro.graph.builder import (clear_structure_cache,
+                                         structure_cache_get,
+                                         structure_cache_put,
+                                         structure_cache_stats)
+        asm = GraphAssembler()
+        asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, "a")
+        structure = GraphStructure.compile(asm.finish(num_devices=1))
+        clear_structure_cache()
+        try:
+            assert structure_cache_get("k") is None
+            structure_cache_put("k", structure)
+            assert structure_cache_get("k") is structure
+            stats = structure_cache_stats()
+            assert stats["hits"] == 1 and stats["misses"] == 1
+            assert stats["entries"] == 1 and stats["cached_tasks"] == 1
+        finally:
+            clear_structure_cache()
+
+    def test_lru_eviction_respects_task_budget(self, monkeypatch):
+        from repro.graph.builder import (clear_structure_cache,
+                                         structure_cache_get,
+                                         structure_cache_put,
+                                         structure_cache_stats)
+        monkeypatch.setenv("REPRO_STRUCTURE_CACHE_TASKS", "5")
+
+        def structure_with(num_tasks):
+            asm = GraphAssembler()
+            for index in range(num_tasks):
+                asm.add(0, COMPUTE_STREAM, 1.0, KIND_COMPUTE, f"t{index}")
+            return GraphStructure.compile(asm.finish(num_devices=1))
+
+        clear_structure_cache()
+        try:
+            structure_cache_put("a", structure_with(3))
+            structure_cache_put("b", structure_with(2))
+            structure_cache_get("a")  # refresh 'a' so 'b' is LRU
+            structure_cache_put("c", structure_with(2))
+            assert structure_cache_get("b") is None  # evicted
+            assert structure_cache_get("a") is not None
+            assert structure_cache_get("c") is not None
+            assert structure_cache_stats()["evictions"] == 1
+        finally:
+            clear_structure_cache()

@@ -115,3 +115,28 @@ class TestEmulator:
         plan = ParallelismConfig(tensor=2, data=2, pipeline=1,
                                  micro_batch_size=4)
         assert emulator.measure_time(tiny_model, plan, training) > 0
+
+    def test_kernel_counts_follow_current_plan_on_cache_hit(
+            self, tiny_model, training):
+        """Two recompute modes share a compiled topology (the fingerprint
+        excludes recompute outside KERNEL granularity), but the kernel
+        counts behind the launch-overhead model must come from the plan
+        being measured, not from the cached structure's payloads."""
+        from repro.config.parallelism import RecomputeMode
+        emulator = TestbedEmulator(single_node())
+        plan_none = ParallelismConfig(tensor=2, data=2, pipeline=1,
+                                      micro_batch_size=2,
+                                      recompute=RecomputeMode.NONE)
+        plan_full = plan_none.replaced(recompute=RecomputeMode.FULL)
+        emulator.measure(tiny_model, plan_none, training)  # caches topology
+        prepared = emulator._vtrain.prepare(tiny_model, plan_full, training)
+        assert prepared.structure_cache_hit
+        counts = emulator._kernel_counts(prepared)
+        table = prepared.builder.slot_kernel_counts()
+        bwd_mha_count = table["op:bwd_mha"]
+        # FULL recompute replays forward kernels in backward: strictly
+        # more kernels than the NONE-mode payloads the cache captured.
+        none_table = emulator._vtrain.prepare(
+            tiny_model, plan_none, training).builder.slot_kernel_counts()
+        assert bwd_mha_count > none_table["op:bwd_mha"]
+        assert bwd_mha_count in counts
