@@ -44,7 +44,8 @@ def _features(model: ModelConfig, plan: ParallelismConfig,
               training: TrainingConfig) -> np.ndarray:
     """Regression features for the efficiency factor."""
     nmb = num_micro_batches(plan, training)
-    bubble = pipeline_bubble_fraction(plan.pipeline, nmb)
+    bubble = pipeline_bubble_fraction(plan.pipeline, nmb,
+                                      plan.virtual_stages)
     inv_tensor = 1.0 / plan.tensor
     # Per-GPU GEMM width proxy: larger shards run closer to peak.
     width = min(1.0, (model.hidden_size / plan.tensor) / 4096.0)

@@ -65,9 +65,12 @@ class AnalyticalModel:
             backward_ratio = 2.2
         stage_bwd = stage_fwd * backward_ratio
         per_micro = stage_fwd + stage_bwd
-        # Pipeline fill/drain: (NMB + p - 1) chunk slots on the critical
-        # stage; equivalently steady time divided by (1 - bubble).
-        bubble = pipeline_bubble_fraction(plan.pipeline, nmb)
+        # Pipeline fill/drain: (v*NMB + p - 1) chunk slots on the
+        # critical stage; equivalently steady time divided by
+        # (1 - bubble). Interleaved plans (virtual_stages > 1) shrink
+        # the ramp by v, matching the simulator's schedule model.
+        bubble = pipeline_bubble_fraction(plan.pipeline, nmb,
+                                          plan.virtual_stages)
         pipeline_time = nmb * per_micro / (1.0 - bubble)
         return (pipeline_time + self._dp_allreduce_time(model, plan)
                 + self._weight_update_time(model, plan))

@@ -81,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--micro-batches", type=int, nargs="+",
                      default=[1, 2, 4, 8, 16], metavar="M",
                      help="candidate micro-batch sizes (default: 1 2 4 8 16)")
+    dse.add_argument("--virtual-stages", type=int, nargs="+", default=[1],
+                     metavar="V",
+                     help="candidate virtual-pipeline (interleaved-1F1B) "
+                          "chunk counts per device; values above 1 sweep "
+                          "Megatron-interleaved variants of every plan "
+                          "that satisfies the interleave constraints "
+                          "(default: 1)")
+    dse.add_argument("--zero-stage", type=int, default=1,
+                     choices=[0, 1, 2, 3],
+                     help="ZeRO sharding stage assumed by the memory "
+                          "feasibility filter: 0 none, 1 optimizer states "
+                          "(default), 2 +gradients, 3 +parameters")
     dse.add_argument("--gpus-per-node", type=int, default=8,
                      help="GPUs per server node (default: 8)")
     dse.add_argument("--network", default="flat", metavar="SPEC",
@@ -181,7 +193,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
                               total_tokens=args.total_tokens)
     space = SearchSpace(max_tensor=args.max_tensor, max_data=args.max_data,
                         max_pipeline=args.max_pipeline,
-                        micro_batch_sizes=tuple(args.micro_batches))
+                        micro_batch_sizes=tuple(args.micro_batches),
+                        virtual_stages=tuple(args.virtual_stages))
     cache = (PredictionCache.load(args.cache)
              if args.cache and args.cache.exists() else PredictionCache())
 
@@ -195,7 +208,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     explorer = DesignSpaceExplorer(model, training,
                                    gpus_per_node=args.gpus_per_node,
                                    granularity=Granularity(args.granularity),
-                                   network=args.network)
+                                   network=args.network,
+                                   zero_stage=args.zero_stage)
     result = explorer.explore(space=space, num_gpus=args.num_gpus,
                               max_gpus=args.max_gpus, workers=args.workers,
                               cache=cache, checkpoint_path=args.checkpoint,

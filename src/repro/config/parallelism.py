@@ -47,6 +47,15 @@ class ParallelismConfig:
         pipeline: Pipeline-parallel degree ``p``.
         micro_batch_size: Sequences per micro-batch ``m``.
         schedule: GPipe or 1F1B (paper Figure 7).
+        virtual_stages: Virtual-pipeline (model-chunk) count ``v`` per
+            device for Megatron's interleaved 1F1B schedule. The default
+            ``1`` is the plain schedule; ``v > 1`` splits each stage's
+            layers into ``v`` chunks scheduled round-robin, shrinking
+            the pipeline bubble to ``(p-1)/(v*NMB + p-1)`` at the cost
+            of ``v`` activation windows and extra inter-chunk P2P
+            traffic. Requires ``p > 1`` and the 1F1B schedule; the
+            layer count must divide by ``p*v`` and the micro-batch
+            count by ``p`` (checked in :func:`validate_plan`).
         gradient_bucketing: Whether DP All-Reduce uses gradient buckets
             that overlap the backward pass (paper Figure 5).
         num_gradient_buckets: Number of buckets when bucketing is enabled.
@@ -66,13 +75,15 @@ class ParallelismConfig:
     pipeline: int
     micro_batch_size: int = 1
     schedule: PipelineSchedule = PipelineSchedule.ONE_F_ONE_B
+    virtual_stages: int = 1
     gradient_bucketing: bool = True
     num_gradient_buckets: int = 4
     recompute: RecomputeMode = RecomputeMode.SELECTIVE
     sequence_parallel: bool = False
 
     def __post_init__(self) -> None:
-        for field in ("tensor", "data", "pipeline", "micro_batch_size"):
+        for field in ("tensor", "data", "pipeline", "micro_batch_size",
+                      "virtual_stages"):
             value = getattr(self, field)
             if not isinstance(value, int) or value <= 0:
                 raise ConfigError(f"{field} must be a positive int, got {value!r}")
@@ -81,6 +92,14 @@ class ParallelismConfig:
         if self.sequence_parallel and self.tensor == 1:
             raise ConfigError(
                 "sequence_parallel requires tensor parallelism (t > 1)")
+        if self.virtual_stages > 1:
+            if self.pipeline == 1:
+                raise ConfigError(
+                    "virtual_stages > 1 requires pipeline parallelism (p > 1)")
+            if self.schedule is not PipelineSchedule.ONE_F_ONE_B:
+                raise ConfigError(
+                    "virtual_stages > 1 requires the 1f1b schedule "
+                    "(GPipe has no interleaved variant)")
 
     @property
     def total_gpus(self) -> int:
@@ -93,20 +112,31 @@ class ParallelismConfig:
         return (self.tensor, self.data, self.pipeline)
 
     def describe(self) -> str:
-        """Paper-style label, e.g. ``"(8, 12, 21)-way, m=1, 1f1b"``."""
+        """Paper-style label, e.g. ``"(8, 12, 21)-way, m=1, 1f1b"``
+        (interleaved plans append ``, v=<chunks>``)."""
         t, d, p = self.way
-        return (f"({t}, {d}, {p})-way, m={self.micro_batch_size}, "
-                f"{self.schedule.value}")
+        label = (f"({t}, {d}, {p})-way, m={self.micro_batch_size}, "
+                 f"{self.schedule.value}")
+        if self.virtual_stages > 1:
+            label += f", v={self.virtual_stages}"
+        return label
 
     def replaced(self, **changes) -> "ParallelismConfig":
         """Copy with selected fields replaced."""
         return replace(self, **changes)
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form suitable for JSON serialisation."""
+        """Plain-dict form suitable for JSON serialisation.
+
+        ``virtual_stages`` is serialised only when non-default, so
+        payloads (and the prediction-cache fingerprints hashed from
+        them) are unchanged for every pre-interleaving plan.
+        """
         payload = asdict(self)
         payload["schedule"] = self.schedule.value
         payload["recompute"] = self.recompute.value
+        if self.virtual_stages == 1:
+            del payload["virtual_stages"]
         return payload
 
     @classmethod
@@ -175,6 +205,10 @@ def validate_plan(model: ModelConfig, plan: ParallelismConfig,
     * Attention heads split evenly across tensor ranks (``t | n``).
     * The per-replica batch splits evenly into micro-batches
       (``d * m | B``).
+    * Interleaved plans (``v > 1``) additionally need equal-size model
+      chunks (``p*v | L``) and a micro-batch count that is a multiple
+      of the pipeline depth (``p | NMB``), mirroring Megatron-LM's
+      interleaving asserts.
 
     Raises:
         InfeasibleConfigError: If any constraint is violated. The message
@@ -187,6 +221,11 @@ def validate_plan(model: ModelConfig, plan: ParallelismConfig,
         raise InfeasibleConfigError(
             f"pipeline degree {plan.pipeline} does not divide "
             f"L={model.num_layers}")
+    if plan.virtual_stages > 1 and (
+            (model.num_layers // plan.pipeline) % plan.virtual_stages != 0):
+        raise InfeasibleConfigError(
+            f"virtual stages {plan.virtual_stages} do not divide the "
+            f"{model.num_layers // plan.pipeline} layers per stage")
     if model.num_heads % plan.tensor != 0:
         raise InfeasibleConfigError(
             f"tensor degree {plan.tensor} does not divide n={model.num_heads}")
@@ -202,6 +241,12 @@ def validate_plan(model: ModelConfig, plan: ParallelismConfig,
         raise InfeasibleConfigError(
             f"micro-batch {plan.micro_batch_size} does not divide "
             f"per-replica batch {per_replica}")
+    if plan.virtual_stages > 1 and (
+            (per_replica // plan.micro_batch_size) % plan.pipeline != 0):
+        raise InfeasibleConfigError(
+            f"interleaved schedule needs the micro-batch count "
+            f"({per_replica // plan.micro_batch_size}) to be a multiple "
+            f"of the pipeline depth ({plan.pipeline})")
 
 
 def num_micro_batches(plan: ParallelismConfig,

@@ -34,20 +34,31 @@ from repro.graph.builder import Granularity
 
 #: Bump when the prediction payload or fingerprint recipe changes, so
 #: stale caches are rejected instead of silently misread.
+#:
+#: Deliberately NOT bumped for the interleaving release: ``v=1`` /
+#: default-ZeRO fingerprints are byte-identical by design so existing
+#: sweep caches keep resolving. Caveat: the same release also *fixed*
+#: the memory model for two corner cases (sequence-parallel plans no
+#: longer replicate the stage-0 embedding output; ``p > 1`` plans are
+#: additionally checked at the LM-head stage), so entries for such
+#: plans written by older releases carry the pre-fix feasibility —
+#: delete the cache file to re-evaluate them.
 CACHE_FORMAT_VERSION = 1
 
 
 def fingerprint(model: ModelConfig, plan: ParallelismConfig,
                 training: TrainingConfig, system: SystemConfig,
-                granularity: Granularity) -> str:
+                granularity: Granularity, *, zero_stage: int = 1) -> str:
     """Canonical cache key for one prediction.
 
     The key hashes the *complete* simulation input — model, plan,
     training recipe (the global batch drives micro-batch scheduling and
     memory feasibility), system (GPU spec by registry name, interconnect
-    parameters), and graph granularity — via sorted-key JSON, so
-    logically equal configurations produce identical keys regardless of
-    construction order.
+    parameters), graph granularity, and the memory model's ZeRO stage —
+    via sorted-key JSON, so logically equal configurations produce
+    identical keys regardless of construction order. The default ZeRO
+    stage (1) is omitted from the payload, so caches written before the
+    stage was configurable stay valid.
     """
     payload = {
         "model": model.to_dict(),
@@ -56,6 +67,8 @@ def fingerprint(model: ModelConfig, plan: ParallelismConfig,
         "system": system.to_dict(),
         "granularity": granularity.value,
     }
+    if zero_stage != 1:
+        payload["zero_stage"] = zero_stage
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

@@ -198,6 +198,8 @@ class DesignSpaceExplorer:
             ``system_factory`` is given.
         system_factory: Override how a plan's GPU count becomes a
             :class:`SystemConfig` (e.g. to change interconnects).
+        zero_stage: ZeRO sharding stage (0-3) assumed by the memory
+            feasibility filter (default 1, ZeRO-1 optimizer sharding).
     """
 
     def __init__(self, model: ModelConfig, training: TrainingConfig, *,
@@ -205,12 +207,14 @@ class DesignSpaceExplorer:
                  granularity: Granularity = Granularity.STAGE,
                  network: str = "flat",
                  system_factory: Callable[[int], SystemConfig] | None = None,
+                 zero_stage: int = 1,
                  ) -> None:
         self.model = model
         self.training = training
         self.gpus_per_node = gpus_per_node
         self.granularity = granularity
         self.network = network
+        self.zero_stage = zero_stage
         self.has_custom_system_factory = system_factory is not None
         self._system_factory = system_factory or self._default_system
         self._simulators: dict[int, VTrain] = {}
@@ -231,7 +235,8 @@ class DesignSpaceExplorer:
         simulator = self._simulators.get(nodes)
         if simulator is None:
             simulator = VTrain(self.system_for(num_gpus),
-                               granularity=self.granularity)
+                               granularity=self.granularity,
+                               zero_stage=self.zero_stage)
             self._simulators[nodes] = simulator
         return simulator
 
@@ -286,6 +291,7 @@ class DesignSpaceExplorer:
                 network=self.network,
                 system_factory=(self._system_factory
                                 if self.has_custom_system_factory else None),
+                zero_stage=self.zero_stage,
                 cache=cache, checkpoint_path=checkpoint_path,
                 progress=progress)
             return engine.explore(space=space, num_gpus=num_gpus,

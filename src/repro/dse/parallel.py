@@ -60,6 +60,7 @@ _WORKER_EXPLORER: DesignSpaceExplorer | None = None
 def _init_worker(model_dict: dict[str, Any], training_dict: dict[str, Any],
                  gpus_per_node: int, granularity_value: str, network: str,
                  system_factory: Callable[[int], SystemConfig] | None,
+                 zero_stage: int,
                  ) -> None:
     """Build this worker's long-lived explorer from serialized configs."""
     global _WORKER_EXPLORER
@@ -69,7 +70,8 @@ def _init_worker(model_dict: dict[str, Any], training_dict: dict[str, Any],
         gpus_per_node=gpus_per_node,
         granularity=Granularity(granularity_value),
         network=network,
-        system_factory=system_factory)
+        system_factory=system_factory,
+        zero_stage=zero_stage)
 
 
 def _evaluate_chunk(chunk: list[tuple[int, dict[str, Any]]],
@@ -102,6 +104,9 @@ class ParallelExplorer:
         system_factory: Override how a plan's GPU count becomes a
             :class:`SystemConfig`. Must be picklable (a module-level
             function) when ``workers > 1``.
+        zero_stage: ZeRO sharding stage (0-3) assumed by the memory
+            feasibility filter; enters the cache fingerprint when
+            non-default.
         cache: Prediction cache consulted before evaluating and updated
             after; omit to create a private one (exposed as ``.cache``).
         checkpoint_path: JSON file the cache is saved to every
@@ -121,6 +126,7 @@ class ParallelExplorer:
                  granularity: Granularity = Granularity.STAGE,
                  network: str = "flat",
                  system_factory: Callable[[int], SystemConfig] | None = None,
+                 zero_stage: int = 1,
                  cache: PredictionCache | None = None,
                  checkpoint_path: str | Path | None = None,
                  checkpoint_every: int = 8,
@@ -140,6 +146,7 @@ class ParallelExplorer:
         self.gpus_per_node = gpus_per_node
         self.granularity = granularity
         self.network = network
+        self.zero_stage = zero_stage
         self.cache = cache if cache is not None else PredictionCache()
         self.checkpoint_path = (Path(checkpoint_path)
                                 if checkpoint_path is not None else None)
@@ -152,7 +159,7 @@ class ParallelExplorer:
         self._serial = DesignSpaceExplorer(
             model, training, gpus_per_node=gpus_per_node,
             granularity=granularity, network=network,
-            system_factory=system_factory)
+            system_factory=system_factory, zero_stage=zero_stage)
 
     # ------------------------------------------------------------------
     # Public API
@@ -205,7 +212,7 @@ class ParallelExplorer:
         """Cache key of one plan under this sweep's model/system/detail."""
         return fingerprint(self.model, plan, self.training,
                            self._serial.system_for(plan.total_gpus),
-                           self.granularity)
+                           self.granularity, zero_stage=self.zero_stage)
 
     # ------------------------------------------------------------------
     # Internals
@@ -230,7 +237,7 @@ class ParallelExplorer:
     def _run_pool(self, chunks, points, total) -> None:
         init_args = (self.model.to_dict(), self.training.to_dict(),
                      self.gpus_per_node, self.granularity.value,
-                     self.network, self._system_factory)
+                     self.network, self._system_factory, self.zero_stage)
         max_workers = min(self.workers, len(chunks))
         done = total - sum(len(chunk) for chunk in chunks)
         with concurrent.futures.ProcessPoolExecutor(

@@ -20,6 +20,12 @@ CSV_COLUMNS = ("tensor", "data", "pipeline", "micro_batch", "num_gpus",
                "memory_gib", "cost_per_iteration_usd", "infeasible_reason")
 
 
+def _has_interleaving(points) -> bool:
+    """Whether any plan uses virtual pipelining (adds a ``v`` column;
+    plain sweeps keep the exact pre-interleaving table layout)."""
+    return any(point.plan.virtual_stages > 1 for point in points)
+
+
 def _point_row(point: DesignPoint, pricing: PricingModel) -> dict:
     plan = point.plan
     return {
@@ -27,6 +33,7 @@ def _point_row(point: DesignPoint, pricing: PricingModel) -> dict:
         "data": plan.data,
         "pipeline": plan.pipeline,
         "micro_batch": plan.micro_batch_size,
+        "virtual_stages": plan.virtual_stages,
         "num_gpus": point.num_gpus,
         "feasible": point.feasible,
         "iteration_time_s": (f"{point.iteration_time:.6f}"
@@ -46,8 +53,12 @@ def to_csv(result: DSEResult, *, include_infeasible: bool = False,
     """Render a DSE result as CSV text."""
     points = (result.points if include_infeasible
               else result.feasible_points)
+    columns = CSV_COLUMNS
+    if _has_interleaving(points):
+        columns = columns[:4] + ("virtual_stages",) + columns[4:]
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    writer = csv.DictWriter(buffer, fieldnames=columns,
+                            extrasaction="ignore")
     writer.writeheader()
     for point in points:
         writer.writerow(_point_row(point, pricing))
@@ -78,12 +89,19 @@ def to_markdown(result: DSEResult, *, top: int = 10,
     else:
         raise ConfigError(f"unknown sort key {sort_by!r}")
     points = sorted(result.feasible_points, key=key)[:top]
-    lines = ["| (t, d, p) | m | GPUs | iter (s) | util % | $/iter |",
-             "|---|---|---|---|---|---|"]
+    interleaved = _has_interleaving(points)
+    if interleaved:
+        lines = ["| (t, d, p) | m | v | GPUs | iter (s) | util % | $/iter |",
+                 "|---|---|---|---|---|---|---|"]
+    else:
+        lines = ["| (t, d, p) | m | GPUs | iter (s) | util % | $/iter |",
+                 "|---|---|---|---|---|---|"]
     for point in points:
         plan = point.plan
+        v_cell = f"| {plan.virtual_stages} " if interleaved else ""
         lines.append(
-            f"| {plan.way} | {plan.micro_batch_size} | {point.num_gpus} "
+            f"| {plan.way} | {plan.micro_batch_size} {v_cell}"
+            f"| {point.num_gpus} "
             f"| {point.iteration_time:.2f} "
             f"| {100 * point.utilization:.1f} "
             f"| {point.cost_per_iteration(pricing):.2f} |")

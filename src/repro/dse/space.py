@@ -58,6 +58,11 @@ class SearchSpace:
         micro_batch_sizes: Candidate micro-batch sizes.
         schedule: Pipeline schedule applied to every plan.
         recompute: Activation recompute mode applied to every plan.
+        virtual_stages: Candidate virtual-pipeline (interleaving) chunk
+            counts. The default ``(1,)`` sweeps only plain schedules;
+            values above 1 add Megatron-interleaved variants of every
+            plan that satisfies the interleave constraints (``p > 1``,
+            ``p*v | L``, ``p | NMB``) and require the 1F1B schedule.
     """
 
     max_tensor: int = 16
@@ -66,6 +71,7 @@ class SearchSpace:
     micro_batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16)
     schedule: PipelineSchedule = PipelineSchedule.ONE_F_ONE_B
     recompute: RecomputeMode = RecomputeMode.SELECTIVE
+    virtual_stages: tuple[int, ...] = (1,)
 
     def __post_init__(self) -> None:
         for field_name in ("max_tensor", "max_data", "max_pipeline"):
@@ -77,6 +83,17 @@ class SearchSpace:
             if not isinstance(size, int) or size < 1:
                 raise ConfigError(
                     f"micro-batch sizes must be positive ints, got {size!r}")
+        if not self.virtual_stages:
+            raise ConfigError("virtual_stages must not be empty")
+        for count in self.virtual_stages:
+            if not isinstance(count, int) or count < 1:
+                raise ConfigError(
+                    f"virtual-stage counts must be positive ints, "
+                    f"got {count!r}")
+        if (max(self.virtual_stages) > 1
+                and self.schedule is not PipelineSchedule.ONE_F_ONE_B):
+            raise ConfigError(
+                "virtual_stages > 1 requires the 1f1b schedule")
 
 
 def tensor_candidates(model: ModelConfig, space: SearchSpace) -> list[int]:
@@ -119,9 +136,19 @@ def enumerate_plans(model: ModelConfig, training: TrainingConfig, *,
                 for m in space.micro_batch_sizes:
                     if per_replica % m != 0:
                         continue
-                    yield ParallelismConfig(
-                        tensor=t, data=d, pipeline=p, micro_batch_size=m,
-                        schedule=space.schedule, recompute=space.recompute)
+                    for v in space.virtual_stages:
+                        if v > 1:
+                            # Megatron's interleave constraints: a real
+                            # pipeline, equal-size model chunks, and a
+                            # micro-batch count in whole groups of p.
+                            if (p == 1
+                                    or (model.num_layers // p) % v != 0
+                                    or (per_replica // m) % p != 0):
+                                continue
+                        yield ParallelismConfig(
+                            tensor=t, data=d, pipeline=p, micro_batch_size=m,
+                            schedule=space.schedule, virtual_stages=v,
+                            recompute=space.recompute)
 
 
 def count_plans(model: ModelConfig, training: TrainingConfig, *,

@@ -7,10 +7,12 @@ from repro.graph.operators import (CommKind, CommOperator, CommScope,
                                    CompOperator, OpKind, data_allreduce,
                                    pipeline_send_recv, tensor_allreduce)
 from repro.graph.pipeline import (ScheduledChunk, gpipe_order,
+                                  interleaved_order,
                                   last_backward_micro_batch,
                                   max_in_flight_micro_batches,
                                   one_f_one_b_order,
-                                  pipeline_bubble_fraction, schedule_order)
+                                  pipeline_bubble_fraction, schedule_order,
+                                  warmup_forwards)
 from repro.graph.structure import (COMM_STREAM, COMPUTE_STREAM,
                                    ExecutionGraph, FlatAssembler,
                                    GraphAssembler, GraphStructure, TaskNode)
@@ -35,6 +37,7 @@ __all__ = [
     "TaskNode",
     "data_allreduce",
     "gpipe_order",
+    "interleaved_order",
     "last_backward_micro_batch",
     "max_in_flight_micro_batches",
     "one_f_one_b_order",
@@ -42,4 +45,5 @@ __all__ = [
     "pipeline_send_recv",
     "schedule_order",
     "tensor_allreduce",
+    "warmup_forwards",
 ]

@@ -9,9 +9,12 @@ requires:
 * data-parallel gradient-bucket All-Reduces on the communication stream,
   overlapping backward compute (Figure 5a) — or one terminal All-Reduce
   when bucketing is off (Figure 5b);
-* pipeline Send-Receives at stage boundaries, GPipe- or 1F1B-ordered
-  (Figure 7) with both intra-GPU issue order and cross-GPU micro-batch
-  dependencies enforced (Figure 8).
+* pipeline Send-Receives at stage boundaries, GPipe-, 1F1B-, or
+  interleaved-ordered (Figure 7) with both intra-GPU issue order and
+  cross-GPU micro-batch dependencies enforced (Figure 8). Interleaved
+  plans (``virtual_stages > 1``) additionally emit the wrap-around
+  Send-Receives that carry chunk ``c`` output from the last stage back
+  to chunk ``c+1`` on the first stage.
 
 **Symmetry reduction.** Tensor-parallel ranks within a stage execute
 identical kernel streams, and data-parallel replicas are symmetric, so
@@ -186,6 +189,13 @@ def structure_fingerprint(model: ModelConfig, plan: ParallelismConfig,
         f"dp={int(plan.data > 1)}",
         f"buckets={','.join(str(size) for size in sizes)}",
     ]
+    if plan.virtual_stages > 1:
+        # Interleaving changes the chunk issue order, the per-chunk
+        # layer slices, and adds wrap-around P2P tasks; a v=1 structure
+        # silently reused for v>1 (or vice versa) would be wrong. The
+        # part is omitted at v=1 so pre-interleaving fingerprints are
+        # byte-identical.
+        parts.append(f"v={plan.virtual_stages}")
     if granularity is Granularity.KERNEL:
         # Kernel graphs bake shape into the structure itself: the
         # recompute mode changes the kernel sequence, and kernel task
@@ -237,6 +247,10 @@ class GraphBuilder:
         self.topology = ClusterTopology(system, plan)
         self.nmb = num_micro_batches(plan, training)
         self.lps = layers_per_stage(model, plan)
+        # Virtual pipelining: v model chunks of lpc layers per stage
+        # (v == 1 means one chunk covering the whole stage).
+        self.v = plan.virtual_stages
+        self.lpc = self.lps // self.v
         self.vocab = model.padded_vocab_size(plan.tensor)
         self._init_operators()
         self._init_comm_times()
@@ -285,6 +299,11 @@ class GraphBuilder:
             link = self.topology.pipeline_hop_link(boundary)
             comm = pipeline_send_recv(b, s, h, link)
             self.send_time.append(self.nccl.time(comm))
+        if self.v > 1:
+            link = self.topology.pipeline_wrap_link()
+            self.wrap_time = self.nccl.time(pipeline_send_recv(b, s, h, link))
+        else:
+            self.wrap_time = 0.0
 
     def _init_stage_params(self) -> None:
         """Per-stage parameter counts per GPU and gradient buckets."""
@@ -352,6 +371,8 @@ class GraphBuilder:
         timings["tp_ar"] = self.tp_ar_time
         for boundary, seconds in enumerate(self.send_time):
             timings[f"pp:{boundary}"] = seconds
+        if self.v > 1:
+            timings["pp:wrap"] = self.wrap_time
 
         self._dp_comms: dict[tuple[int, int], object] = {}
         if plan.data > 1:
@@ -374,20 +395,58 @@ class GraphBuilder:
 
         if self.granularity is Granularity.STAGE:
             for stage in range(plan.pipeline):
-                timings[f"sf:{stage}"] = self._forward_stage_duration(stage)
-                timings[f"sb:{stage}"] = self._backward_stage_duration(stage)
+                for chunk in range(self.v):
+                    timings[self._slot("sf", stage, chunk)] = \
+                        self._forward_stage_duration(stage, chunk)
+                    timings[self._slot("sb", stage, chunk)] = \
+                        self._backward_stage_duration(stage, chunk)
             layer_dur = self._backward_layer_duration()
-            num_buckets = len(self.bucket_layers)
             for stage in range(plan.pipeline):
-                for issue_index, bucket in enumerate(
-                        reversed(range(num_buckets))):
-                    duration = len(self.bucket_layers[bucket]) * layer_dur
-                    if issue_index == 0 and stage == plan.pipeline - 1:
-                        duration += self.lookup.duration_of(self.op_bwd_head)
-                    if bucket == 0 and stage == 0:
-                        duration += self.lookup.duration_of(self.op_bwd_embed)
-                    timings[f"sbl:{stage}:{bucket}"] = duration
+                for chunk in range(self.v):
+                    for seg_index, (bucket, width) in enumerate(
+                            self._bucket_segments(chunk)):
+                        duration = width * layer_dur
+                        if (seg_index == 0 and stage == plan.pipeline - 1
+                                and chunk == self.v - 1):
+                            duration += self.lookup.duration_of(
+                                self.op_bwd_head)
+                        if bucket == 0 and stage == 0 and chunk == 0:
+                            duration += self.lookup.duration_of(
+                                self.op_bwd_embed)
+                        timings[self._slot("sbl", stage, chunk,
+                                           bucket)] = duration
         self.timings = timings
+
+    def _slot(self, tag: str, stage: int, chunk: int,
+              bucket: int | None = None) -> str:
+        """Stage-granularity slot key; ``v == 1`` keys omit the chunk so
+        pre-interleaving structures and caches keep their exact keys."""
+        parts = [tag, str(stage)]
+        if self.v > 1:
+            parts.append(str(chunk))
+        if bucket is not None:
+            parts.append(str(bucket))
+        return ":".join(parts)
+
+    def _bucket_segments(self, chunk: int) -> list[tuple[int, int]]:
+        """``(bucket, layer-count)`` segments of one chunk's final
+        backward, deepest layers first (the order backward visits them).
+
+        Gradient buckets partition a stage's *local* layer range; under
+        virtual pipelining a bucket can span chunk boundaries, so each
+        chunk's last-micro-batch backward is split at the bucket
+        intersections that fall inside its layer slice. With ``v == 1``
+        the single chunk yields every bucket at full width — the
+        pre-interleaving layout.
+        """
+        lo, hi = chunk * self.lpc, (chunk + 1) * self.lpc
+        segments: list[tuple[int, int]] = []
+        for bucket in reversed(range(len(self.bucket_layers))):
+            width = sum(1 for layer in self.bucket_layers[bucket]
+                        if lo <= layer < hi)
+            if width:
+                segments.append((bucket, width))
+        return segments
 
     # ------------------------------------------------------------------
     # Structure fingerprint and metadata
@@ -408,6 +467,7 @@ class GraphBuilder:
             "num_micro_batches": self.nmb,
             "layers_per_stage": self.lps,
             "schedule": self.plan.schedule.value,
+            "virtual_stages": self.v,
         }
 
     def slot_kernel_counts(self) -> dict[str, int]:
@@ -464,32 +524,41 @@ class GraphBuilder:
 
     def _emit(self, asm: _AssemblerBase) -> None:
         p = self.plan.pipeline
-        orders = [schedule_order(self.plan.schedule, st, p, self.nmb)
+        orders = [schedule_order(self.plan.schedule, st, p, self.nmb,
+                                 virtual_stages=self.v)
                   for st in range(p)]
         last_b = last_backward_micro_batch(self.plan.schedule, self.nmb)
 
-        f_entry: dict[tuple[int, int], int] = {}
-        f_exit: dict[tuple[int, int], int] = {}
-        b_entry: dict[tuple[int, int], int] = {}
-        b_exit: dict[tuple[int, int], int] = {}
+        # Task-id maps keyed by (stage, chunk, micro_batch); chunk is
+        # always 0 outside the interleaved schedule.
+        f_entry: dict[tuple[int, int, int], int] = {}
+        f_exit: dict[tuple[int, int, int], int] = {}
+        b_entry: dict[tuple[int, int, int], int] = {}
+        b_exit: dict[tuple[int, int, int], int] = {}
         # Per-stage gradient-readiness anchors: bucket index -> task id.
         bucket_anchor: dict[tuple[int, int], int] = {}
 
         for stage in range(p):
-            for chunk in orders[stage]:
-                if chunk.phase == FORWARD:
-                    entry, exit_ = self._emit_forward_chunk(asm, stage, chunk)
-                    f_entry[(stage, chunk.micro_batch)] = entry
-                    f_exit[(stage, chunk.micro_batch)] = exit_
+            # Weight-gradient tails of the *last* micro-batch's backward,
+            # keyed by stage-local layer, accumulated across this stage's
+            # chunks (all of one stage's layers live in one dict because
+            # gradient buckets partition the stage, not the chunk).
+            layer_tails: dict[int, int] = {}
+            for unit in orders[stage]:
+                key = (stage, unit.chunk, unit.micro_batch)
+                if unit.phase == FORWARD:
+                    entry, exit_ = self._emit_forward_chunk(asm, stage, unit)
+                    f_entry[key] = entry
+                    f_exit[key] = exit_
                 else:
                     entry, exit_ = self._emit_backward_chunk(
-                        asm, stage, chunk, is_last=chunk.micro_batch == last_b,
-                        bucket_anchor=bucket_anchor)
-                    b_entry[(stage, chunk.micro_batch)] = entry
-                    b_exit[(stage, chunk.micro_batch)] = exit_
+                        asm, stage, unit, last_b=last_b,
+                        layer_tails=layer_tails, bucket_anchor=bucket_anchor)
+                    b_entry[key] = entry
+                    b_exit[key] = exit_
 
         self._emit_pipeline_comm(asm, f_exit, f_entry, b_exit, b_entry)
-        self._emit_gradient_sync(asm, orders, b_exit, bucket_anchor, last_b)
+        self._emit_gradient_sync(asm, b_exit, bucket_anchor, last_b)
 
     # ------------------------------------------------------------------
     # Chunk emission
@@ -525,79 +594,97 @@ class GraphBuilder:
         return asm.add(stage, COMPUTE_STREAM, self.tp_ar_time, KIND_TP_COMM,
                        label, payload=self.tp_ar, slot="tp_ar")
 
+    def _chunk_prefix(self, stage: int, chunk: int, phase: str,
+                      mb: int) -> str:
+        """Label prefix of one scheduled unit; ``v == 1`` labels carry no
+        chunk component, matching the pre-interleaving graphs exactly."""
+        if self.v == 1:
+            return f"s{stage}/{phase}{mb}"
+        return f"s{stage}/c{chunk}/{phase}{mb}"
+
     def _emit_forward_chunk(self, asm: GraphAssembler, stage: int,
-                            chunk: ScheduledChunk) -> tuple[int, int]:
-        """Forward pass of one micro-batch on one stage."""
-        mb = chunk.micro_batch
+                            unit: ScheduledChunk) -> tuple[int, int]:
+        """Forward pass of one micro-batch chunk on one stage."""
+        mb, chunk = unit.micro_batch, unit.chunk
+        prefix = self._chunk_prefix(stage, chunk, "F", mb)
         if self.granularity is Granularity.STAGE:
-            node = asm.add(stage, COMPUTE_STREAM, self.timings[f"sf:{stage}"],
-                           KIND_COMPUTE, f"s{stage}/F{mb}",
-                           slot=f"sf:{stage}")
+            slot = self._slot("sf", stage, chunk)
+            node = asm.add(stage, COMPUTE_STREAM, self.timings[slot],
+                           KIND_COMPUTE, prefix, slot=slot)
             return node, node
         p = self.plan.pipeline
         entry = None
         last = None
-        if stage == 0:
+        if stage == 0 and chunk == 0:
             entry, last = self._emit_comp(asm, stage, self.op_fwd_embed,
-                                          f"s{stage}/F{mb}/embed")
-            ar = self._emit_tp_allreduce(asm, stage, f"s{stage}/F{mb}/embed_ar")
+                                          f"{prefix}/embed")
+            ar = self._emit_tp_allreduce(asm, stage, f"{prefix}/embed_ar")
             last = ar if ar is not None else last
-        for layer in range(self.lps):
+        for local in range(self.lpc):
+            layer = chunk * self.lpc + local
             first, tail = self._emit_comp(asm, stage, self.op_fwd_mha,
-                                          f"s{stage}/F{mb}/l{layer}/mha")
+                                          f"{prefix}/l{layer}/mha")
             entry = first if entry is None else entry
             ar = self._emit_tp_allreduce(asm, stage,
-                                         f"s{stage}/F{mb}/l{layer}/mha_ar")
+                                         f"{prefix}/l{layer}/mha_ar")
             _, tail = self._emit_comp(asm, stage, self.op_fwd_ffn,
-                                      f"s{stage}/F{mb}/l{layer}/ffn")
+                                      f"{prefix}/l{layer}/ffn")
             ar = self._emit_tp_allreduce(asm, stage,
-                                         f"s{stage}/F{mb}/l{layer}/ffn_ar")
+                                         f"{prefix}/l{layer}/ffn_ar")
             last = ar if ar is not None else tail
-        if stage == p - 1:
+        if stage == p - 1 and chunk == self.v - 1:
             first, last = self._emit_comp(asm, stage, self.op_fwd_head,
-                                          f"s{stage}/F{mb}/lm_head")
+                                          f"{prefix}/lm_head")
             entry = first if entry is None else entry
         return entry, last
 
     def _emit_backward_chunk(self, asm: GraphAssembler, stage: int,
-                             chunk: ScheduledChunk, *, is_last: bool,
+                             unit: ScheduledChunk, *, last_b: int,
+                             layer_tails: dict[int, int],
                              bucket_anchor: dict[tuple[int, int], int],
                              ) -> tuple[int, int]:
-        """Backward pass of one micro-batch on one stage.
+        """Backward pass of one micro-batch chunk on one stage.
 
-        When ``is_last`` (the final backward chunk in issue order), the
-        per-layer task ids are recorded as gradient-bucket anchors.
+        Chunks of the last-synchronising micro-batch record their
+        per-layer weight-gradient tails into ``layer_tails``; the final
+        such chunk in issue order (chunk 0 — backward walks chunks
+        descending) turns the accumulated tails into gradient-bucket
+        anchors.
         """
-        mb = chunk.micro_batch
+        mb, chunk = unit.micro_batch, unit.chunk
         if self.granularity is Granularity.STAGE:
-            return self._emit_backward_stage(asm, stage, mb, is_last,
+            return self._emit_backward_stage(asm, stage, unit, last_b,
                                              bucket_anchor)
         p = self.plan.pipeline
+        prefix = self._chunk_prefix(stage, chunk, "B", mb)
         entry = None
         last = None
-        if stage == p - 1:
+        if stage == p - 1 and chunk == self.v - 1:
             entry, last = self._emit_comp(asm, stage, self.op_bwd_head,
-                                          f"s{stage}/B{mb}/lm_head")
+                                          f"{prefix}/lm_head")
         layer_tail: dict[int, int] = {}
-        for layer in reversed(range(self.lps)):
+        for local in reversed(range(self.lpc)):
+            layer = chunk * self.lpc + local
             first, tail = self._emit_comp(asm, stage, self.op_bwd_ffn,
-                                          f"s{stage}/B{mb}/l{layer}/ffn")
+                                          f"{prefix}/l{layer}/ffn")
             entry = first if entry is None else entry
             self._emit_tp_allreduce(asm, stage,
-                                    f"s{stage}/B{mb}/l{layer}/ffn_ar")
+                                    f"{prefix}/l{layer}/ffn_ar")
             _, tail = self._emit_comp(asm, stage, self.op_bwd_mha,
-                                      f"s{stage}/B{mb}/l{layer}/mha")
+                                      f"{prefix}/l{layer}/mha")
             layer_tail[layer] = tail
             ar = self._emit_tp_allreduce(asm, stage,
-                                         f"s{stage}/B{mb}/l{layer}/mha_ar")
+                                         f"{prefix}/l{layer}/mha_ar")
             last = ar if ar is not None else tail
-        if stage == 0:
+        if stage == 0 and chunk == 0:
             first, last = self._emit_comp(asm, stage, self.op_bwd_embed,
-                                          f"s{stage}/B{mb}/embed")
+                                          f"{prefix}/embed")
             entry = first if entry is None else entry
             layer_tail[-1] = last  # embedding grads complete last
-        if is_last:
-            self._record_bucket_anchors(stage, layer_tail, bucket_anchor)
+        if mb == last_b:
+            layer_tails.update(layer_tail)
+            if chunk == 0:
+                self._record_bucket_anchors(stage, layer_tails, bucket_anchor)
         return entry, last
 
     def _record_bucket_anchors(self, stage: int, layer_tail: dict[int, int],
@@ -620,14 +707,14 @@ class GraphBuilder:
     # ------------------------------------------------------------------
     # Stage-granularity chunk durations
     # ------------------------------------------------------------------
-    def _forward_stage_duration(self, stage: int) -> float:
-        """Total forward-chunk latency of one stage (compute + TP AR)."""
-        dur = self.lps * (self.lookup.duration_of(self.op_fwd_mha)
+    def _forward_stage_duration(self, stage: int, chunk: int = 0) -> float:
+        """Forward latency of one stage chunk (compute + TP AR)."""
+        dur = self.lpc * (self.lookup.duration_of(self.op_fwd_mha)
                           + self.lookup.duration_of(self.op_fwd_ffn)
                           + 2 * self.tp_ar_time)
-        if stage == 0:
+        if stage == 0 and chunk == 0:
             dur += self.lookup.duration_of(self.op_fwd_embed) + self.tp_ar_time
-        if stage == self.plan.pipeline - 1:
+        if stage == self.plan.pipeline - 1 and chunk == self.v - 1:
             dur += self.lookup.duration_of(self.op_fwd_head)
         return dur
 
@@ -637,39 +724,44 @@ class GraphBuilder:
                 + self.lookup.duration_of(self.op_bwd_mha)
                 + 2 * self.tp_ar_time)
 
-    def _backward_stage_duration(self, stage: int) -> float:
-        """Total backward-chunk latency of one stage."""
-        dur = self.lps * self._backward_layer_duration()
-        if stage == self.plan.pipeline - 1:
+    def _backward_stage_duration(self, stage: int, chunk: int = 0) -> float:
+        """Backward latency of one stage chunk."""
+        dur = self.lpc * self._backward_layer_duration()
+        if stage == self.plan.pipeline - 1 and chunk == self.v - 1:
             dur += self.lookup.duration_of(self.op_bwd_head)
-        if stage == 0:
+        if stage == 0 and chunk == 0:
             dur += self.lookup.duration_of(self.op_bwd_embed)
         return dur
 
-    def _emit_backward_stage(self, asm: GraphAssembler, stage: int, mb: int,
-                             is_last: bool,
+    def _emit_backward_stage(self, asm: GraphAssembler, stage: int,
+                             unit: ScheduledChunk, last_b: int,
                              bucket_anchor: dict[tuple[int, int], int],
                              ) -> tuple[int, int]:
         """Stage-granularity backward chunk.
 
-        Ordinary chunks are one task. The final chunk is split into one
-        sub-task per gradient bucket (deepest bucket first) so bucket
-        All-Reduces can still overlap the remaining backward compute.
+        Ordinary chunks are one task. The last micro-batch's chunks are
+        split at gradient-bucket boundaries (deepest layers first) so
+        bucket All-Reduces can still overlap the remaining backward
+        compute; a bucket anchors in the chunk holding its shallowest
+        layer, because backward visits chunks in descending order and
+        that chunk therefore retires the bucket's final gradients.
         """
-        if not is_last:
-            node = asm.add(stage, COMPUTE_STREAM, self.timings[f"sb:{stage}"],
-                           KIND_COMPUTE, f"s{stage}/B{mb}",
-                           slot=f"sb:{stage}")
+        mb, chunk = unit.micro_batch, unit.chunk
+        label = self._chunk_prefix(stage, chunk, "B", mb)
+        if mb != last_b:
+            slot = self._slot("sb", stage, chunk)
+            node = asm.add(stage, COMPUTE_STREAM, self.timings[slot],
+                           KIND_COMPUTE, label, slot=slot)
             return node, node
         entry = None
         last = None
-        num_buckets = len(self.bucket_layers)
-        for bucket in reversed(range(num_buckets)):
-            node = asm.add(stage, COMPUTE_STREAM,
-                           self.timings[f"sbl:{stage}:{bucket}"],
-                           KIND_COMPUTE, f"s{stage}/B{mb}/bucket{bucket}",
-                           slot=f"sbl:{stage}:{bucket}")
-            bucket_anchor[(stage, bucket)] = node
+        for bucket, _width in self._bucket_segments(chunk):
+            slot = self._slot("sbl", stage, chunk, bucket)
+            node = asm.add(stage, COMPUTE_STREAM, self.timings[slot],
+                           KIND_COMPUTE, f"{label}/bucket{bucket}",
+                           slot=slot)
+            if min(self.bucket_layers[bucket]) // self.lpc == chunk:
+                bucket_anchor[(stage, bucket)] = node
             entry = node if entry is None else entry
             last = node
         return entry, last
@@ -678,24 +770,47 @@ class GraphBuilder:
     # Communication passes
     # ------------------------------------------------------------------
     def _emit_pipeline_comm(self, asm, f_exit, f_entry, b_exit, b_entry):
-        """Insert Send-Receive tasks at every stage boundary (Figure 6)."""
-        p = self.plan.pipeline
+        """Insert Send-Receive tasks at every stage boundary (Figure 6).
+
+        Interleaved plans carry every chunk across each boundary, plus
+        the wrap-around hops: forward output of chunk ``c`` on the last
+        stage feeds chunk ``c+1`` on stage 0, and chunk ``c+1``'s
+        gradient on stage 0 feeds chunk ``c``'s backward on the last
+        stage.
+        """
+        p, v = self.plan.pipeline, self.v
         for boundary in range(p - 1):
             for mb in range(self.nmb):
-                send = asm.add(boundary, COMM_STREAM,
-                               self.send_time[boundary], KIND_PP_COMM,
-                               f"s{boundary}->s{boundary + 1}/F{mb}",
-                               deps=(f_exit[(boundary, mb)],), chain=False,
-                               slot=f"pp:{boundary}")
-                asm.link(send, f_entry[(boundary + 1, mb)])
-                recv = asm.add(boundary + 1, COMM_STREAM,
-                               self.send_time[boundary], KIND_PP_COMM,
-                               f"s{boundary + 1}->s{boundary}/B{mb}",
-                               deps=(b_exit[(boundary + 1, mb)],), chain=False,
-                               slot=f"pp:{boundary}")
-                asm.link(recv, b_entry[(boundary, mb)])
+                for chunk in range(v):
+                    mid = "" if v == 1 else f"/c{chunk}"
+                    send = asm.add(boundary, COMM_STREAM,
+                                   self.send_time[boundary], KIND_PP_COMM,
+                                   f"s{boundary}->s{boundary + 1}{mid}/F{mb}",
+                                   deps=(f_exit[(boundary, chunk, mb)],),
+                                   chain=False, slot=f"pp:{boundary}")
+                    asm.link(send, f_entry[(boundary + 1, chunk, mb)])
+                    recv = asm.add(boundary + 1, COMM_STREAM,
+                                   self.send_time[boundary], KIND_PP_COMM,
+                                   f"s{boundary + 1}->s{boundary}{mid}/B{mb}",
+                                   deps=(b_exit[(boundary + 1, chunk, mb)],),
+                                   chain=False, slot=f"pp:{boundary}")
+                    asm.link(recv, b_entry[(boundary, chunk, mb)])
+        for chunk in range(v - 1):
+            for mb in range(self.nmb):
+                send = asm.add(p - 1, COMM_STREAM, self.wrap_time,
+                               KIND_PP_COMM,
+                               f"s{p - 1}/c{chunk}->s0/c{chunk + 1}/F{mb}",
+                               deps=(f_exit[(p - 1, chunk, mb)],),
+                               chain=False, slot="pp:wrap")
+                asm.link(send, f_entry[(0, chunk + 1, mb)])
+                recv = asm.add(0, COMM_STREAM, self.wrap_time,
+                               KIND_PP_COMM,
+                               f"s0/c{chunk + 1}->s{p - 1}/c{chunk}/B{mb}",
+                               deps=(b_exit[(0, chunk + 1, mb)],),
+                               chain=False, slot="pp:wrap")
+                asm.link(recv, b_entry[(p - 1, chunk, mb)])
 
-    def _emit_gradient_sync(self, asm, orders, b_exit, bucket_anchor,
+    def _emit_gradient_sync(self, asm, b_exit, bucket_anchor,
                             last_b) -> None:
         """Insert DP gradient All-Reduces (Figure 5) and weight updates."""
         plan = self.plan
@@ -716,7 +831,9 @@ class GraphBuilder:
                                       slot=f"dp:{stage}:{bucket}")
                 wu_deps.append(last_ar)
             wu_op = self._wu_ops[stage]
-            wu_deps.append(b_exit[(stage, last_b)])
+            # Chunk 0's backward is the final backward in every
+            # schedule's issue order (backward walks chunks descending).
+            wu_deps.append(b_exit[(stage, 0, last_b)])
             asm.add(stage, COMPUTE_STREAM, self.timings[f"wu:{stage}"],
                     KIND_WEIGHT_UPDATE, f"s{stage}/weight_update",
                     deps=tuple(wu_deps), payload=wu_op,

@@ -124,6 +124,22 @@ class ClusterTopology:
         return (LinkType.INTRA_NODE if self.node_of(here) == self.node_of(there)
                 else LinkType.INTER_NODE)
 
+    def pipeline_wrap_link(self) -> LinkType:
+        """Link type of the interleaved schedule's wrap-around hop.
+
+        Under virtual pipelining the last stage's chunk ``c`` output
+        feeds the first stage's chunk ``c + 1``, so activations (and
+        gradients, in reverse) travel from stage ``p-1`` back to stage
+        0 — the extra P2P traffic interleaving pays for its smaller
+        bubble.
+        """
+        if self.plan.pipeline <= 1:
+            raise ConfigError("no wrap-around hop in a 1-stage pipeline")
+        first = self.rank_of(RankCoordinates(0, 0, 0))
+        last = self.rank_of(RankCoordinates(0, 0, self.plan.pipeline - 1))
+        return (LinkType.INTRA_NODE if self.node_of(first) == self.node_of(last)
+                else LinkType.INTER_NODE)
+
     # ------------------------------------------------------------------
     # Contention diagnostics (used by the testbed emulator)
     # ------------------------------------------------------------------

@@ -2,8 +2,8 @@
 
 from repro.memory.footprint import (MemoryFootprint,
                                     activation_bytes_per_layer, check_memory,
-                                    fits_in_memory, memory_footprint,
-                                    stage_zero_params,
+                                    fits_in_memory, last_stage_params,
+                                    memory_footprint, stage_zero_params,
                                     suggest_schedule_for_memory)
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "activation_bytes_per_layer",
     "check_memory",
     "fits_in_memory",
+    "last_stage_params",
     "memory_footprint",
     "stage_zero_params",
     "suggest_schedule_for_memory",

@@ -9,19 +9,25 @@ accounting:
 * **Model states** — FP16 weights (2 B) + FP16 gradients (2 B, the
   Megatron-DeepSpeed mixed-precision configuration MT-NLG trained with)
   + Adam optimizer states (FP32 master copy, momentum, variance: 12 B).
-  With ZeRO-1 optimizer sharding (Megatron-DeepSpeed's default for
-  MT-NLG-scale runs), the 12 B/param optimizer slab divides by the
-  data-parallel degree.
+  ZeRO sharding divides slabs by the data-parallel degree: stage 1
+  shards the optimizer states (Megatron-DeepSpeed's default for
+  MT-NLG-scale runs), stage 2 adds gradients, stage 3 adds weights.
 * **Activations** — the Korthikanti et al. per-layer formulas:
   no recompute stores ``s*b*h*(10 + 24/t + 5*n*s/(h*t))`` bytes/layer,
   selective recompute drops the attention quadratic term
   (``s*b*h*(10 + 24/t)``), and full recompute keeps only the layer input
-  (``2*s*b*h``). In-flight micro-batches per stage follow the schedule:
-  all of them under GPipe, at most the remaining pipeline depth under
-  1F1B (Section II-B).
+  (``2*s*b*h``). In-flight windows per stage follow the schedule: every
+  micro-batch under GPipe, at most the remaining pipeline depth under
+  1F1B (Section II-B), and under the interleaved schedule
+  ``2*(p - stage - 1) + (v - 1)*p + 1`` windows of ``1/v`` the layers
+  each — the activation cost of the smaller bubble.
 
-Stage 0 is the peak: it holds the embedding table and the deepest
-in-flight window, so feasibility is evaluated there.
+Peak feasibility is evaluated at the boundary stages: stage 0 holds the
+embedding table plus the deepest in-flight window *and* the live
+embedding outputs, while the last stage holds the final LayerNorm and —
+when the pipeline is deeper than one stage — the untied output-embedding
+(LM-head) copy Megatron materialises there. The reported footprint is
+the larger of the two.
 """
 
 from __future__ import annotations
@@ -98,35 +104,45 @@ def activation_bytes_per_layer(model: ModelConfig,
 
 
 def stage_zero_params(model: ModelConfig, plan: ParallelismConfig) -> int:
-    """Per-GPU parameter count on pipeline stage 0 (the peak stage)."""
+    """Per-GPU parameter count on pipeline stage 0 (layers + embedding)."""
     per_layer = model.params_per_layer() // plan.tensor
     embed = model.embedding_params() // plan.tensor
     return layers_per_stage(model, plan) * per_layer + embed
 
 
-def memory_footprint(model: ModelConfig, plan: ParallelismConfig,
-                     training: TrainingConfig, *,
-                     zero1_sharding: bool = True,
-                     zero_stage: int | None = None) -> MemoryFootprint:
-    """Peak per-GPU footprint of a plan (evaluated at stage 0).
+def last_stage_params(model: ModelConfig, plan: ParallelismConfig) -> int:
+    """Per-GPU parameter count on the last pipeline stage.
 
-    Args:
-        zero1_sharding: Legacy switch: True means ZeRO stage 1.
-        zero_stage: Explicit ZeRO stage, overriding ``zero1_sharding``:
-            0 = no sharding; 1 = optimizer states sharded across the
-            data-parallel group (Megatron-DeepSpeed's default); 2 = plus
-            gradient sharding; 3 = plus parameter sharding. Stages 2/3
-            model the *memory* effect only — the extra All-Gather /
-            Reduce-Scatter traffic of ZeRO-3 would also need graph-level
-            operators (the :class:`~repro.profiling.nccl.NcclModel`
-            exposes ``allgather_time`` / ``reduce_scatter_time`` for
-            that extension).
+    Beyond its layer slice the last stage holds the final LayerNorm and,
+    when the pipeline is deeper than one stage, the untied
+    output-embedding (LM-head) copy that Megatron materialises on the
+    last rank (with ``p == 1`` the head is tied to the input embedding,
+    so nothing is duplicated).
     """
+    per_layer = model.params_per_layer() // plan.tensor
+    params = layers_per_stage(model, plan) * per_layer
+    params += 2 * model.hidden_size  # final LayerNorm
+    if plan.pipeline > 1:
+        params += model.embedding_params() // plan.tensor
+    return params
+
+
+def _resolve_zero_stage(zero1_sharding: bool, zero_stage: int | None) -> int:
     if zero_stage is None:
         zero_stage = 1 if zero1_sharding else 0
     if not 0 <= zero_stage <= 3:
         raise InfeasibleConfigError(f"unknown ZeRO stage {zero_stage}")
-    params = stage_zero_params(model, plan)
+    return zero_stage
+
+
+def _stage_footprint(model: ModelConfig, plan: ParallelismConfig,
+                     training: TrainingConfig, stage: int,
+                     zero_stage: int) -> MemoryFootprint:
+    """Footprint of one boundary stage (0 or the last)."""
+    if stage == 0:
+        params = stage_zero_params(model, plan)
+    else:
+        params = last_stage_params(model, plan)
     weights = FP16_BYTES * params
     gradients = GRAD_BYTES * params
     optimizer = OPTIMIZER_BYTES * params
@@ -137,34 +153,84 @@ def memory_footprint(model: ModelConfig, plan: ParallelismConfig,
     if zero_stage >= 3:
         weights /= plan.data
     nmb = num_micro_batches(plan, training)
-    in_flight = max_in_flight_micro_batches(plan.schedule, 0, plan.pipeline,
-                                            nmb)
+    v = plan.virtual_stages
+    # In-flight windows are schedule units: whole micro-batches for
+    # GPipe/1F1B, model chunks of lps/v layers under interleaving.
+    in_flight = max_in_flight_micro_batches(plan.schedule, stage,
+                                            plan.pipeline, nmb,
+                                            virtual_stages=v)
     per_layer = activation_bytes_per_layer(model, plan)
-    activations = (layers_per_stage(model, plan) * in_flight * per_layer)
-    # Embedding output of in-flight micro-batches (stage 0 only).
-    activations += (in_flight * FP16_BYTES * plan.micro_batch_size
-                    * model.seq_length * model.hidden_size)
+    layers_per_window = layers_per_stage(model, plan) // v
+    activations = layers_per_window * in_flight * per_layer
+    if stage == 0:
+        # Embedding output of in-flight micro-batches (stage 0 only);
+        # with sequence parallelism the stage-0 embedding output is
+        # already scattered ``s/t`` before the first layer consumes it.
+        embed_out = (FP16_BYTES * plan.micro_batch_size
+                     * model.seq_length * model.hidden_size)
+        if plan.sequence_parallel:
+            embed_out /= plan.tensor
+        # Express the window count in micro-batch equivalents (one
+        # embedding output per micro-batch, not per chunk).
+        activations += -(-in_flight // v) * embed_out
     return MemoryFootprint(weights=weights,
                            gradients=gradients,
                            optimizer_states=optimizer,
                            activations=activations)
 
 
+def memory_footprint(model: ModelConfig, plan: ParallelismConfig,
+                     training: TrainingConfig, *,
+                     zero1_sharding: bool = True,
+                     zero_stage: int | None = None) -> MemoryFootprint:
+    """Peak per-GPU footprint of a plan.
+
+    Evaluated at both boundary stages — stage 0 (embedding + deepest
+    in-flight window) and the last stage (final LayerNorm + untied
+    LM-head copy) — returning whichever peaks higher, so LM-head-heavy
+    configurations are not under-checked.
+
+    Args:
+        zero1_sharding: Legacy switch: True means ZeRO stage 1. Ignored
+            when ``zero_stage`` is given.
+        zero_stage: Explicit ZeRO stage: 0 = no sharding; 1 = optimizer
+            states sharded across the data-parallel group
+            (Megatron-DeepSpeed's default); 2 = plus gradient sharding;
+            3 = plus parameter sharding. Stages 2/3 model the *memory*
+            effect only — the extra All-Gather / Reduce-Scatter traffic
+            of ZeRO-3 would also need graph-level operators (the
+            :class:`~repro.profiling.nccl.NcclModel` exposes
+            ``allgather_time`` / ``reduce_scatter_time`` for that
+            extension).
+    """
+    resolved = _resolve_zero_stage(zero1_sharding, zero_stage)
+    first = _stage_footprint(model, plan, training, 0, resolved)
+    if plan.pipeline == 1:
+        return first
+    last = _stage_footprint(model, plan, training, plan.pipeline - 1,
+                            resolved)
+    return last if last.total > first.total else first
+
+
 def fits_in_memory(model: ModelConfig, plan: ParallelismConfig,
                    training: TrainingConfig, system: SystemConfig, *,
-                   zero1_sharding: bool = True) -> bool:
+                   zero1_sharding: bool = True,
+                   zero_stage: int | None = None) -> bool:
     """Whether the plan's peak footprint fits the GPU's usable HBM."""
     footprint = memory_footprint(model, plan, training,
-                                 zero1_sharding=zero1_sharding)
+                                 zero1_sharding=zero1_sharding,
+                                 zero_stage=zero_stage)
     return footprint.total <= system.gpu.memory_bytes * USABLE_MEMORY_FRACTION
 
 
 def check_memory(model: ModelConfig, plan: ParallelismConfig,
                  training: TrainingConfig, system: SystemConfig, *,
-                 zero1_sharding: bool = True) -> MemoryFootprint:
+                 zero1_sharding: bool = True,
+                 zero_stage: int | None = None) -> MemoryFootprint:
     """Footprint if feasible, else :class:`InfeasibleConfigError`."""
     footprint = memory_footprint(model, plan, training,
-                                 zero1_sharding=zero1_sharding)
+                                 zero1_sharding=zero1_sharding,
+                                 zero_stage=zero_stage)
     budget = system.gpu.memory_bytes * USABLE_MEMORY_FRACTION
     if footprint.total > budget:
         raise InfeasibleConfigError(
@@ -178,7 +244,14 @@ def suggest_schedule_for_memory(model: ModelConfig, plan: ParallelismConfig,
                                 training: TrainingConfig,
                                 system: SystemConfig) -> PipelineSchedule:
     """Pick 1F1B when GPipe's full-batch activation residency would not
-    fit — the PipeDream motivation retold as a helper."""
+    fit — the PipeDream motivation retold as a helper.
+
+    Interleaved plans (``virtual_stages > 1``) already require 1F1B —
+    GPipe has no interleaved variant, so suggesting it would hand back
+    a schedule the plan cannot adopt.
+    """
+    if plan.virtual_stages > 1:
+        return PipelineSchedule.ONE_F_ONE_B
     gpipe = plan.replaced(schedule=PipelineSchedule.GPIPE)
     if fits_in_memory(model, gpipe, training, system):
         return PipelineSchedule.GPIPE

@@ -106,8 +106,12 @@ class VTrain:
             :class:`~repro.network.model.TopologyAwareNcclModel` for
             ``rail`` / ``fat-tree:<ratio>`` fabrics.
         check_memory_feasibility: Reject plans that exceed GPU memory.
-        zero1_sharding: Assume ZeRO-1 optimizer-state sharding across
-            data-parallel ranks in the memory model.
+        zero1_sharding: Deprecated alias for ``zero_stage``: True means
+            ZeRO stage 1, False stage 0. Ignored when ``zero_stage`` is
+            given.
+        zero_stage: ZeRO sharding stage (0-3) assumed by the memory
+            model (see :func:`repro.memory.footprint.memory_footprint`).
+            Defaults to stage 1, Megatron-DeepSpeed's configuration.
     """
 
     def __init__(self, system: SystemConfig, *,
@@ -115,7 +119,8 @@ class VTrain:
                  device: DeviceModel | None = None,
                  nccl: NcclModel | None = None,
                  check_memory_feasibility: bool = True,
-                 zero1_sharding: bool = True) -> None:
+                 zero1_sharding: bool = True,
+                 zero_stage: int | None = None) -> None:
         self.system = system
         self.granularity = granularity
         self.device = device if device is not None else DeviceModel(system.gpu)
@@ -123,7 +128,9 @@ class VTrain:
         self.lookup = OperatorToTaskTable(self.tracer)
         self.nccl = nccl if nccl is not None else nccl_model_for(system)
         self.check_memory_feasibility = check_memory_feasibility
-        self.zero1_sharding = zero1_sharding
+        self.zero_stage = (zero_stage if zero_stage is not None
+                           else (1 if zero1_sharding else 0))
+        self.zero1_sharding = self.zero_stage >= 1  # legacy alias
         self.num_predictions = 0
         self.structure_cache_hits = 0
         self.structure_cache_misses = 0
@@ -201,10 +208,10 @@ class VTrain:
         started = time.perf_counter()
         if self.check_memory_feasibility:
             footprint = check_memory(model, plan, training, self.system,
-                                     zero1_sharding=self.zero1_sharding)
+                                     zero_stage=self.zero_stage)
         else:
             footprint = memory_footprint(model, plan, training,
-                                         zero1_sharding=self.zero1_sharding)
+                                         zero_stage=self.zero_stage)
         memory_s = time.perf_counter() - started
         prepared = self.prepare(model, plan, training)
         tick = time.perf_counter()

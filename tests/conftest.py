@@ -7,7 +7,10 @@ milliseconds; paper-scale integration checks live in
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
@@ -18,6 +21,15 @@ from repro.profiling.cupti import CuptiTracer
 from repro.profiling.lookup import OperatorToTaskTable
 from repro.profiling.nccl import NcclModel
 from repro.sim.estimator import VTrain
+
+# Hypothesis effort tiers: the capped "tier1" profile keeps the default
+# `pytest -x -q` loop fast; CI's full lane (and anyone hunting for
+# counterexamples) selects the exhaustive profile via
+# REPRO_HYPOTHESIS_PROFILE=exhaustive. Property tests should rely on
+# these profiles instead of pinning max_examples inline.
+settings.register_profile("tier1", max_examples=25, deadline=None)
+settings.register_profile("exhaustive", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "tier1"))
 
 
 @pytest.fixture

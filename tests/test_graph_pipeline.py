@@ -100,3 +100,37 @@ class TestHelpers:
             pipeline_bubble_fraction(0, 4)
         with pytest.raises(ConfigError):
             pipeline_bubble_fraction(2, 0)
+        with pytest.raises(ConfigError):
+            pipeline_bubble_fraction(2, 4, 0)
+
+
+class TestInterleavedHelpers:
+    def test_schedule_order_dispatches_to_interleaved(self):
+        from repro.graph.pipeline import interleaved_order
+        interleaved = schedule_order(PipelineSchedule.ONE_F_ONE_B, 0, 2, 4,
+                                     virtual_stages=2)
+        assert phases(interleaved) == phases(interleaved_order(0, 2, 4, 2))
+        assert any(chunk.chunk == 1 for chunk in interleaved)
+
+    def test_v1_dispatch_is_plain_1f1b(self):
+        assert phases(schedule_order(PipelineSchedule.ONE_F_ONE_B, 0, 2, 4,
+                                     virtual_stages=1)) == \
+            phases(one_f_one_b_order(0, 2, 4))
+
+    def test_bubble_fraction_shrinks_by_v(self):
+        assert pipeline_bubble_fraction(4, 12, 3) == pytest.approx(3 / 39)
+        assert pipeline_bubble_fraction(4, 12, 1) == \
+            pipeline_bubble_fraction(4, 12)
+
+    def test_in_flight_interleaved_window_count(self):
+        # p=4, v=2, NMB=8: stage 0 warms up 2*3 + 4 = 10 chunks, +1 in
+        # steady state; deeper stages admit fewer.
+        assert max_in_flight_micro_batches(
+            PipelineSchedule.ONE_F_ONE_B, 0, 4, 8, virtual_stages=2) == 11
+        assert max_in_flight_micro_batches(
+            PipelineSchedule.ONE_F_ONE_B, 3, 4, 8, virtual_stages=2) == 5
+
+    def test_in_flight_all_warmup_case(self):
+        # NMB == p runs all-forward-then-all-backward: every chunk lives.
+        assert max_in_flight_micro_batches(
+            PipelineSchedule.ONE_F_ONE_B, 0, 4, 4, virtual_stages=2) == 8

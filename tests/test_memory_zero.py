@@ -89,3 +89,85 @@ class TestZeroStages:
         stage3 = memory_footprint(big, plan, training, zero_stage=3)
         assert stage1.total > budget
         assert stage3.total < budget
+
+
+ZERO_DEMO_KWARGS = dict(hidden_size=12288, num_layers=16, seq_length=2048,
+                        num_heads=96, name="zero-demo-29B")
+
+
+class TestZeroStageThreading:
+    """ZeRO stages 2/3 must be reachable through the feasibility filter,
+    VTrain, and the DSE — not just ``memory_footprint`` itself."""
+
+    @pytest.fixture
+    def big_model(self):
+        from repro.config.model import ModelConfig
+        return ModelConfig(**ZERO_DEMO_KWARGS)
+
+    @pytest.fixture
+    def plan8(self):
+        return ParallelismConfig(tensor=1, data=8, pipeline=1)
+
+    @pytest.fixture
+    def batch8(self):
+        return TrainingConfig(global_batch_size=8)
+
+    def test_fits_in_memory_accepts_zero_stage(self, big_model, plan8,
+                                               batch8):
+        from repro.config.system import single_node
+        from repro.memory.footprint import check_memory, fits_in_memory
+        system = single_node()
+        assert not fits_in_memory(big_model, plan8, batch8, system)
+        assert fits_in_memory(big_model, plan8, batch8, system,
+                              zero_stage=3)
+        footprint = check_memory(big_model, plan8, batch8, system,
+                                 zero_stage=3)
+        unsharded = memory_footprint(big_model, plan8, batch8, zero_stage=0)
+        assert footprint.weights == pytest.approx(unsharded.weights / 8)
+
+    def test_vtrain_threads_zero_stage(self, big_model, plan8, batch8):
+        from repro.config.system import single_node
+        from repro.errors import InfeasibleConfigError
+        from repro.sim.estimator import VTrain
+        default = VTrain(single_node())
+        assert default.zero_stage == 1
+        with pytest.raises(InfeasibleConfigError):
+            default.predict(big_model, plan8, batch8)
+        sharded = VTrain(single_node(), zero_stage=3)
+        prediction = sharded.predict(big_model, plan8, batch8)
+        assert prediction.iteration_time > 0
+
+    def test_vtrain_legacy_alias_still_works(self):
+        from repro.config.system import single_node
+        from repro.sim.estimator import VTrain
+        assert VTrain(single_node(), zero1_sharding=False).zero_stage == 0
+        assert VTrain(single_node(), zero1_sharding=True).zero_stage == 1
+        assert VTrain(single_node(), zero1_sharding=False,
+                      zero_stage=2).zero_stage == 2
+
+    def test_explorer_threads_zero_stage(self, big_model, batch8):
+        from repro.dse.explorer import DesignSpaceExplorer
+        from repro.dse.space import SearchSpace
+        space = SearchSpace(max_tensor=1, max_data=8, max_pipeline=1,
+                            micro_batch_sizes=(1,))
+        plain = DesignSpaceExplorer(big_model, batch8).explore(
+            space=space, num_gpus=8)
+        sharded = DesignSpaceExplorer(big_model, batch8, zero_stage=3
+                                      ).explore(space=space, num_gpus=8)
+        assert sharded.num_feasible > plain.num_feasible
+
+    def test_parallel_explorer_cache_key_covers_zero_stage(self, big_model,
+                                                           batch8):
+        """Different ZeRO stages must not share cached predictions; the
+        default stage keeps the pre-existing fingerprint."""
+        from repro.dse.cache import fingerprint
+        from repro.dse.parallel import ParallelExplorer
+        plan = ParallelismConfig(tensor=1, data=8, pipeline=1)
+        default = ParallelExplorer(big_model, batch8, workers=1)
+        stage3 = ParallelExplorer(big_model, batch8, workers=1,
+                                  zero_stage=3)
+        assert default.fingerprint_for(plan) != stage3.fingerprint_for(plan)
+        system = default._serial.system_for(plan.total_gpus)
+        from repro.graph.builder import Granularity
+        assert default.fingerprint_for(plan) == fingerprint(
+            big_model, plan, batch8, system, Granularity.STAGE)

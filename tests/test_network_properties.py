@@ -10,7 +10,7 @@ Three contracts hold for every algorithm on every topology:
   ring table (the paper's intra-node regime).
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.config.system import multi_node
@@ -52,7 +52,6 @@ def algorithm_times(network: str, size: float, span: int):
 class TestMonotoneInPayload:
     @given(network=networks, span=group_sizes,
            small=sizes, factor=st.floats(min_value=1.0, max_value=64.0))
-    @settings(max_examples=40, deadline=None)
     def test_all_algorithms(self, network, span, small, factor):
         lo = algorithm_times(network, small, span)
         hi = algorithm_times(network, small * factor, span)
@@ -61,7 +60,6 @@ class TestMonotoneInPayload:
 
     @given(network=networks, group=st.sampled_from([2, 8, 32, 64]),
            small=sizes, factor=st.floats(min_value=1.0, max_value=64.0))
-    @settings(max_examples=40, deadline=None)
     def test_model_end_to_end(self, network, group, small, factor):
         model = model_for(network)
         lo = model.allreduce_time(small, group, LinkType.INTER_NODE)
@@ -72,7 +70,6 @@ class TestMonotoneInPayload:
 
 class TestFlatRingLowerBound:
     @given(network=networks, span=group_sizes, size=sizes)
-    @settings(max_examples=40, deadline=None)
     def test_no_algorithm_beats_the_bound(self, network, span, size):
         """On an uncontended topology every algorithm's time is >= the
         latency-free Equation-1 transfer at aggregate bandwidth."""
@@ -84,7 +81,6 @@ class TestFlatRingLowerBound:
 
     @given(network=networks, group=st.sampled_from([2, 8, 32, 64]),
            size=sizes)
-    @settings(max_examples=40, deadline=None)
     def test_model_respects_the_bound(self, network, group, size):
         model = model_for(network)
         placement = place_group(group, model.system.num_nodes)
@@ -97,7 +93,6 @@ class TestFlatRingLowerBound:
 
 class TestSingleNodeReducesToNvlinkTable:
     @given(network=networks, group=st.sampled_from([2, 4, 8]), size=sizes)
-    @settings(max_examples=40, deadline=None)
     def test_intra_group_uses_the_profiled_table(self, network, group, size):
         """Hierarchical All-Reduce degenerates on one node: the
         topology-aware model answers straight from the NVLink ring

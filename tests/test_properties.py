@@ -162,8 +162,7 @@ def test_chain_iteration_time_is_sum(durations):
     assert abs(result.iteration_time - sum(durations)) < 1e-9 * len(durations)
 
 
-@settings(max_examples=25, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(suppress_health_check=[HealthCheck.too_slow])
 @given(st.data())
 def test_graph_invariants_random_configs(data):
     """For random (model, plan): the graph is acyclic, the critical path
@@ -190,8 +189,7 @@ def test_graph_invariants_random_configs(data):
         assert compute_busy <= result.iteration_time + 1e-9
 
 
-@settings(max_examples=15, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(suppress_health_check=[HealthCheck.too_slow])
 @given(st.data())
 def test_scaling_durations_scales_iteration_time(data):
     """Scaling every task duration by k scales the makespan by k."""
@@ -221,7 +219,6 @@ def test_scaling_durations_scales_iteration_time(data):
 # Memory model
 # ---------------------------------------------------------------------------
 
-@settings(max_examples=30, deadline=None)
 @given(st.data())
 def test_memory_monotone_in_micro_batch(data):
     model = data.draw(models())
@@ -234,7 +231,6 @@ def test_memory_monotone_in_micro_batch(data):
         memory_footprint(model, small, training).total
 
 
-@settings(max_examples=30, deadline=None)
 @given(st.data())
 def test_memory_shrinks_with_model_parallelism(data):
     model = data.draw(models())

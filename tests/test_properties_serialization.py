@@ -1,6 +1,6 @@
 """Property-based tests: serialization round-trips and cluster invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cluster.throughput import ThroughputProfile
@@ -61,7 +61,6 @@ def descriptions(draw):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=60, deadline=None)
 @given(descriptions())
 def test_description_dict_round_trip(description):
     rebuilt = InputDescription.from_dict(description.to_dict())
@@ -74,14 +73,12 @@ def test_description_dict_round_trip(description):
             == description.system.bandwidth_effectiveness)
 
 
-@settings(max_examples=40, deadline=None)
 @given(descriptions())
 def test_description_json_round_trip(description):
     rebuilt = InputDescription.from_json(description.to_json())
     assert rebuilt == InputDescription.from_dict(description.to_dict())
 
 
-@settings(max_examples=40, deadline=None)
 @given(descriptions())
 def test_json_is_stable(description):
     """Serialising twice yields identical text (no ordering drift)."""
@@ -107,14 +104,12 @@ def profiles(draw):
                              table=tuple(zip(counts, rates)))
 
 
-@settings(max_examples=60, deadline=None)
 @given(profiles(), st.integers(min_value=0, max_value=1024))
 def test_profile_rate_monotone(profile, gpus):
     """rate() is monotone non-decreasing in the allocation size."""
     assert profile.rate(gpus) <= profile.rate(gpus + 8) + 1e-15
 
 
-@settings(max_examples=60, deadline=None)
 @given(profiles())
 def test_profile_next_step_ladder(profile):
     """Walking next_step from the minimum visits every candidate."""
@@ -127,7 +122,6 @@ def test_profile_next_step_ladder(profile):
     assert tuple(visited) == profile.candidates
 
 
-@settings(max_examples=60, deadline=None)
 @given(profiles())
 def test_profile_below_minimum_is_zero(profile):
     assert profile.rate(profile.min_gpus - 1) == 0.0
@@ -138,7 +132,6 @@ def test_profile_below_minimum_is_zero(profile):
 # ---------------------------------------------------------------------------
 
 
-@settings(max_examples=20, deadline=None)
 @given(st.integers(min_value=1, max_value=50),
        st.integers(min_value=1, max_value=64))
 def test_trace_invariants(trace_id, num_jobs):
