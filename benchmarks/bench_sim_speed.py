@@ -19,8 +19,19 @@ regressions:
   the *ratio* warm/reference measured in the same process, so the gate
   is insensitive to how fast the CI machine happens to be.
 
+* ``test_batch_retime_throughput_and_regression_gate`` measures batched
+  replay throughput (retimes/s) on the same warm MT-NLG structure: N=64
+  duration columns through one ``simulate_retimed_batch`` sweep against
+  scalar ``simulate_retimed`` replays of the same columns. It asserts
+  the >= 5x per-column speedup the vectorized engine promises, verifies
+  the batch columns are bit-identical to the scalar replays it timed,
+  appends to the ``batch_retime`` trajectory in the same JSON store,
+  and fails if the batch-throughput ratio regressed more than 25 %
+  against its committed baseline. Like the warm gate, the gated metric
+  is a same-process ratio, insensitive to absolute machine speed.
+
 Set ``REPRO_BENCH_QUICK=1`` for the CI smoke/perf lanes (fewer timing
-rounds; the model and plan stay MT-NLG-sized so the gate measures the
+rounds; the model and plan stay MT-NLG-sized so the gates measure the
 real workload).
 """
 
@@ -29,26 +40,33 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
 from _helpers import emit_table
 
 from repro.config.presets import (MT_NLG_530B, MT_NLG_BASELINE_PLANS,
                                   MT_NLG_TRAINING)
 from repro.config.system import multi_node
 from repro.graph.builder import Granularity
-from repro.sim.engine import simulate_reference
+from repro.sim.engine import (simulate_reference, simulate_retimed,
+                              simulate_retimed_batch)
 from repro.sim.estimator import VTrain
 
 PLAN = MT_NLG_BASELINE_PLANS[0]  # (8, 8, 35) on 2,240 GPUs
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 BENCH_FILE = Path(__file__).parent / "results" / "BENCH_sim_speed.json"
-BENCH_SCHEMA = 1
-#: Allowed warm/reference slowdown vs the committed baseline ratio.
+BENCH_SCHEMA = 2
+#: Allowed regression vs a committed baseline's gated ratio.
 REGRESSION_HEADROOM = 1.25
 #: Minimum speedup of the structure-cache warm path over a full
 #: rebuild + reference replay (the acceptance bar for the split).
 MIN_SPEEDUP = 3.0
-#: Keep the perf trajectory bounded.
+#: Minimum per-column speedup of the batched sweep over scalar replays
+#: (the acceptance bar for the vectorized batch-retime engine).
+MIN_BATCH_SPEEDUP = 5.0
+#: Columns per batched replay in the throughput gate.
+BATCH_COLUMNS = 64
+#: Keep each perf trajectory bounded.
 TRAJECTORY_LIMIT = 50
 
 
@@ -88,13 +106,55 @@ def test_sim_speed_operator_granularity(benchmark):
     assert prediction.simulation.num_tasks > 100_000
 
 
-def _load_trajectory():
+def _load_store():
+    """The perf-trajectory store, migrating the schema-1 layout in place.
+
+    Schema 1 held a single warm-predict trajectory at the top level;
+    schema 2 keys one trajectory per benchmark under ``benchmarks`` so
+    the batch-retime gate shares the file. A schema-1 baseline becomes
+    the ``warm_predict`` section unchanged — its committed entries (and
+    the gate that compares against ``entries[0]``) carry over.
+    """
     if not BENCH_FILE.exists():
-        return None
+        return {"schema": BENCH_SCHEMA, "benchmarks": {}}
     payload = json.loads(BENCH_FILE.read_text())
-    if payload.get("schema") != BENCH_SCHEMA or not payload.get("entries"):
-        return None
+    if payload.get("schema") == 1 and payload.get("entries"):
+        section = {"benchmark": payload.get("benchmark",
+                                            "sim_speed_warm_predict"),
+                   "gated_metric": payload.get("gated_metric",
+                                               "warm_over_reference"),
+                   "regression_headroom": payload.get("regression_headroom",
+                                                      REGRESSION_HEADROOM),
+                   "entries": payload["entries"]}
+        return {"schema": BENCH_SCHEMA,
+                "benchmarks": {"warm_predict": section}}
+    if payload.get("schema") != BENCH_SCHEMA:
+        return {"schema": BENCH_SCHEMA, "benchmarks": {}}
+    payload.setdefault("benchmarks", {})
     return payload
+
+
+def _record(section_name, defaults, entry):
+    """Append a passing entry to one trajectory and save the store.
+
+    Always keeps ``entries[0]`` — the committed baseline the gates
+    compare against — when truncating to ``TRAJECTORY_LIMIT``.
+    """
+    store = _load_store()
+    section = store["benchmarks"].setdefault(section_name,
+                                             defaults | {"entries": []})
+    tail = section["entries"][1:] + [entry]
+    section["entries"] = (section["entries"][:1]
+                          + tail[-(TRAJECTORY_LIMIT - 1):])
+    BENCH_FILE.parent.mkdir(exist_ok=True)
+    BENCH_FILE.write_text(json.dumps(store, indent=1) + "\n")
+
+
+def _baseline(section_name):
+    section = _load_store()["benchmarks"].get(section_name)
+    if section is None or not section["entries"]:
+        return None
+    return section["entries"][0]
 
 
 def test_warm_predict_speedup_and_regression_gate():
@@ -126,15 +186,7 @@ def test_warm_predict_speedup_and_regression_gate():
         "warm_over_reference": round(ratio, 6),
     }
 
-    trajectory = _load_trajectory()
-    baseline = trajectory["entries"][0] if trajectory else None
-    if trajectory is None:
-        trajectory = {"schema": BENCH_SCHEMA,
-                      "benchmark": "sim_speed_warm_predict",
-                      "gated_metric": "warm_over_reference",
-                      "regression_headroom": REGRESSION_HEADROOM,
-                      "entries": []}
-
+    baseline = _baseline("warm_predict")
     emit_table("sim_speed_warm",
                "Warm predict: structure cache vs full rebuild",
                [entry | {"baseline_ratio":
@@ -154,13 +206,88 @@ def test_warm_predict_speedup_and_regression_gate():
             f"exceeds committed baseline {baseline['warm_over_reference']} "
             f"by more than {REGRESSION_HEADROOM}x")
 
-    # Record only passing runs, and always keep entries[0] — the
-    # committed baseline the gate compares against — when truncating.
-    tail = trajectory["entries"][1:] + [entry]
-    trajectory["entries"] = (trajectory["entries"][:1]
-                             + tail[-(TRAJECTORY_LIMIT - 1):])
-    BENCH_FILE.parent.mkdir(exist_ok=True)
-    BENCH_FILE.write_text(json.dumps(trajectory, indent=1) + "\n")
+    # Record only passing runs.
+    _record("warm_predict",
+            {"benchmark": "sim_speed_warm_predict",
+             "gated_metric": "warm_over_reference",
+             "regression_headroom": REGRESSION_HEADROOM},
+            entry)
+
+
+def test_batch_retime_throughput_and_regression_gate():
+    """Batched replay (N=64) vs scalar replays of the same columns."""
+    rounds = 3 if QUICK else 5
+    scalar_columns = 8 if QUICK else 16
+    vtrain = _simulator(Granularity.OPERATOR)
+    prepared = vtrain.prepare(MT_NLG_530B, PLAN, MT_NLG_TRAINING)
+    structure = prepared.structure
+
+    # A realistic retiming batch: per-column perturbations of the warm
+    # duration vector, as a DSE affinity group or a testbed sampling
+    # campaign would submit.
+    base = np.asarray(prepared.durations, dtype=np.float64)
+    rng = np.random.default_rng(0)
+    matrix = np.ascontiguousarray(
+        base[:, None] * rng.uniform(0.9, 1.1,
+                                    (structure.num_tasks, BATCH_COLUMNS)))
+    structure.batch_plan()  # compile the chunked schedule outside timing
+
+    scalar_results = [simulate_retimed(structure,
+                                       np.ascontiguousarray(matrix[:, col]))
+                      for col in range(scalar_columns)]
+    scalar_s = min(_timed(lambda: [
+        simulate_retimed(structure, np.ascontiguousarray(matrix[:, col]))
+        for col in range(scalar_columns)]) for _ in range(rounds))
+    scalar_per_retime = scalar_s / scalar_columns
+
+    batch = simulate_retimed_batch(structure, matrix)
+    batch_s = min(_timed(lambda: simulate_retimed_batch(structure, matrix))
+                  for _ in range(rounds))
+    batch_per_retime = batch_s / BATCH_COLUMNS
+
+    # The speedup only counts if the batch really is the same replay.
+    for col, scalar in enumerate(scalar_results):
+        assert batch.makespans[col] == scalar.iteration_time, col
+
+    speedup = scalar_per_retime / batch_per_retime
+    entry = {
+        "quick": QUICK,
+        "tasks": structure.num_tasks,
+        "batch_columns": BATCH_COLUMNS,
+        "retimes_per_s_scalar": round(1.0 / scalar_per_retime, 3),
+        "retimes_per_s_batch": round(BATCH_COLUMNS / batch_s, 3),
+        "scalar_retime_s": round(scalar_per_retime, 6),
+        "batch_retime_s_per_column": round(batch_per_retime, 6),
+        "batch_speedup": round(speedup, 3),
+    }
+
+    baseline = _baseline("batch_retime")
+    emit_table("sim_speed_batch",
+               "Batched retime: one N=64 sweep vs scalar replays",
+               [entry | {"baseline_speedup":
+                         baseline["batch_speedup"] if baseline
+                         else entry["batch_speedup"]}],
+               notes="retimes/s on the warm MT-NLG (8, 8, 35) OPERATOR "
+                     "structure; batch columns verified bit-identical "
+                     "to the scalar replays they are timed against")
+
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batched retime only {speedup:.2f}x scalar throughput "
+        f"(need >= {MIN_BATCH_SPEEDUP}x per column at N={BATCH_COLUMNS})")
+    if baseline is not None:
+        floor = baseline["batch_speedup"] / REGRESSION_HEADROOM
+        assert speedup >= floor, (
+            f"batch throughput regressed: speedup {speedup:.2f}x is more "
+            f"than {REGRESSION_HEADROOM}x below the committed baseline "
+            f"{baseline['batch_speedup']}x")
+
+    # Record only passing runs.
+    _record("batch_retime",
+            {"benchmark": "sim_speed_batch_retime",
+             "gated_metric": "batch_speedup",
+             "min_speedup": MIN_BATCH_SPEEDUP,
+             "regression_headroom": REGRESSION_HEADROOM},
+            entry)
 
 
 def _timed(thunk):

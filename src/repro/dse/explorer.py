@@ -26,6 +26,11 @@ from repro.sim.estimator import VTrain
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dse.cache import PredictionCache
 
+#: Upper bound on plans per batched replay: bounds the transient
+#: ``(tasks x N)`` duration matrix while keeping the vectorized sweep's
+#: per-column amortisation (throughput is flat past a few dozen columns).
+_MAX_EVAL_BATCH = 64
+
 
 @dataclass(frozen=True)
 class DesignPoint:
@@ -256,6 +261,45 @@ class DesignSpaceExplorer:
             utilization=prediction.gpu_compute_utilization,
             memory_gib=prediction.memory_per_gpu / float(1 << 30))
 
+    def evaluate_batch(self, plans: list[ParallelismConfig],
+                       ) -> list[DesignPoint]:
+        """Evaluate several plans, replaying shared structures in batch.
+
+        The batched counterpart of :meth:`evaluate`: infeasible and
+        structurally invalid plans still become ``feasible=False`` rows,
+        while the survivors are prepared up front and handed to
+        :meth:`VTrain.predict_prepared`, which stacks runs sharing one
+        compiled structure into a single vectorized
+        :func:`~repro.sim.engine.simulate_retimed_batch` sweep. Points
+        come back in ``plans`` order, bit-identical to
+        ``[self.evaluate(p) for p in plans]``.
+        """
+        points: list[DesignPoint | None] = [None] * len(plans)
+        survivors: dict[int, tuple[VTrain, list[int], list]] = {}
+        for position, plan in enumerate(plans):
+            simulator = self._simulator_for(plan.total_gpus)
+            try:
+                footprint, prepared = simulator.prepare_checked(
+                    self.model, plan, self.training)
+            except (InfeasibleConfigError, ConfigError) as exc:
+                points[position] = DesignPoint(plan=plan, feasible=False,
+                                               infeasible_reason=str(exc))
+                continue
+            _, positions, entries = survivors.setdefault(
+                id(simulator), (simulator, [], []))
+            positions.append(position)
+            entries.append((plan, footprint, prepared))
+        for simulator, positions, entries in survivors.values():
+            predictions = simulator.predict_prepared(self.model,
+                                                     self.training, entries)
+            for position, prediction in zip(positions, predictions):
+                points[position] = DesignPoint(
+                    plan=plans[position], feasible=True,
+                    iteration_time=prediction.iteration_time,
+                    utilization=prediction.gpu_compute_utilization,
+                    memory_gib=prediction.memory_per_gpu / float(1 << 30))
+        return points
+
     def explore(self, *, space: SearchSpace = SearchSpace(),
                 num_gpus: int | None = None, max_gpus: int | None = None,
                 plans: Iterable[ParallelismConfig] | None = None,
@@ -302,22 +346,43 @@ class DesignSpaceExplorer:
         plan_list = list(plans)
         result = DSEResult(model=self.model, training=self.training,
                            points=[None] * len(plan_list))
-        # Evaluate in structure-affinity order: plans sharing a compiled
-        # graph topology run consecutively, so each group compiles once
-        # and re-times thereafter (predictions are order-independent,
-        # and results are restored to plan order below).
-        for index in self._affinity_order(plan_list):
-            result.points[index] = self.evaluate(plan_list[index])
+        # Evaluate in structure-affinity groups: plans sharing a
+        # compiled graph topology run together, so each group compiles
+        # once and replays every member in one vectorized batch
+        # (predictions are order-independent, and results are restored
+        # to plan order below).
+        for group in self._affinity_groups(plan_list):
+            evaluated = self.evaluate_batch([plan_list[i] for i in group])
+            for index, point in zip(group, evaluated):
+                result.points[index] = point
         return result
 
-    def _affinity_order(self, plans: list[ParallelismConfig]) -> list[int]:
-        """Indices of ``plans`` sorted to co-locate shared structures
-        (ties and un-fingerprintable plans keep their original order)."""
+    def _affinity_groups(self, plans: list[ParallelismConfig],
+                         ) -> list[list[int]]:
+        """Indices of ``plans`` grouped to co-locate shared structures.
+
+        Groups are emitted in affinity-sorted order (ties and
+        un-fingerprintable plans keep their original order, so the
+        flattened sequence matches the historical evaluation order);
+        consecutive plans sharing a structure fingerprint share a group,
+        capped at ``_MAX_EVAL_BATCH``, while un-fingerprintable plans
+        are singletons.
+        """
         from repro.graph.builder import structure_affinity
 
-        def sort_key(index: int) -> tuple[str, int]:
-            key = structure_affinity(self.model, plans[index], self.training,
-                                     self.granularity)
-            return ("~" if key is None else key, index)
-
-        return sorted(range(len(plans)), key=sort_key)
+        keyed = sorted(
+            ((structure_affinity(self.model, plans[index], self.training,
+                                 self.granularity), index)
+             for index in range(len(plans))),
+            key=lambda row: ("~" if row[0] is None else row[0], row[1]))
+        groups: list[list[int]] = []
+        previous_key = None
+        for key, index in keyed:
+            extend = (key is not None and groups and key == previous_key
+                      and len(groups[-1]) < _MAX_EVAL_BATCH)
+            if extend:
+                groups[-1].append(index)
+            else:
+                groups.append([index])
+            previous_key = key
+        return groups

@@ -76,13 +76,19 @@ def _init_worker(model_dict: dict[str, Any], training_dict: dict[str, Any],
 
 def _evaluate_chunk(chunk: list[tuple[int, dict[str, Any]]],
                     ) -> list[tuple[int, dict[str, Any]]]:
-    """Evaluate one work unit: [(index, plan dict)] -> [(index, point dict)]."""
+    """Evaluate one work unit: [(index, plan dict)] -> [(index, point dict)].
+
+    The whole chunk goes through
+    :meth:`DesignSpaceExplorer.evaluate_batch`, so plans that share a
+    compiled structure — chunks are cut in affinity order, making that
+    the common case — replay in one vectorized sweep per worker.
+    """
     assert _WORKER_EXPLORER is not None, "worker initializer did not run"
-    results = []
-    for index, plan_dict in chunk:
-        plan = ParallelismConfig.from_dict(plan_dict)
-        results.append((index, _WORKER_EXPLORER.evaluate(plan).to_dict()))
-    return results
+    plans = [ParallelismConfig.from_dict(plan_dict)
+             for _, plan_dict in chunk]
+    points = _WORKER_EXPLORER.evaluate_batch(plans)
+    return [(index, point.to_dict())
+            for (index, _), point in zip(chunk, points)]
 
 
 class ParallelExplorer:
@@ -262,8 +268,10 @@ class ParallelExplorer:
     def _run_serial(self, chunks, points, total) -> None:
         done = total - sum(len(chunk) for chunk in chunks)
         for completed_chunks, chunk in enumerate(chunks, start=1):
-            results = [(index, self._serial.evaluate(plan))
-                       for index, plan, _ in chunk]
+            evaluated = self._serial.evaluate_batch(
+                [plan for _, plan, _ in chunk])
+            results = [(index, point) for (index, _, _), point
+                       in zip(chunk, evaluated)]
             self._absorb({index: key for index, _, key in chunk},
                          results, points)
             done += len(results)

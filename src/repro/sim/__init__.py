@@ -4,8 +4,10 @@ from repro.sim.analysis import (DeviceProfile, critical_device,
                                 device_profiles, exposed_dp_fraction,
                                 pipeline_bubble_time,
                                 stage_utilization_profile, summarize)
-from repro.sim.engine import (compute_idle_fraction, critical_path_length,
-                              simulate, simulate_reference, simulate_retimed,
+from repro.sim.engine import (BatchSimulationResult, compute_idle_fraction,
+                              critical_path_length, simulate,
+                              simulate_reference, simulate_retimed,
+                              simulate_retimed_batch,
                               stream_serialisation_check)
 from repro.sim.estimator import (PredictTiming, PreparedPlan, VTrain,
                                  cost_for_utilization,
@@ -28,12 +30,14 @@ __all__ = [
     "TimelineEvent",
     "TrainingEstimate",
     "VTrain",
+    "BatchSimulationResult",
     "compute_idle_fraction",
     "cost_for_utilization",
     "critical_path_length",
     "simulate",
     "simulate_reference",
     "simulate_retimed",
+    "simulate_retimed_batch",
     "stream_serialisation_check",
     "training_days_for_utilization",
 ]

@@ -34,13 +34,15 @@ from repro.graph.builder import (Granularity, GraphBuilder,
                                  structure_cache_put)
 from repro.graph.structure import ExecutionGraph, GraphStructure
 from repro.hardware.kernels import DeviceModel
-from repro.memory.footprint import check_memory, memory_footprint
+from repro.memory.footprint import (MemoryFootprint, check_memory,
+                                    memory_footprint)
 from repro.network.model import nccl_model_for
 from repro.profiling.cupti import CuptiTracer
 from repro.profiling.lookup import OperatorToTaskTable
 from repro.profiling.nccl import NcclModel
-from repro.sim.engine import simulate_retimed
-from repro.sim.results import IterationPrediction, TrainingEstimate
+from repro.sim.engine import simulate_retimed, simulate_retimed_batch
+from repro.sim.results import (IterationPrediction, SimulationResult,
+                               TrainingEstimate)
 
 
 @dataclass(frozen=True)
@@ -226,6 +228,12 @@ class VTrain:
             replay_s=replay_s,
             total_s=time.perf_counter() - started,
             structure_cache_hit=prepared.structure_cache_hit)
+        return self._prediction(model, plan, training, footprint, result)
+
+    def _prediction(self, model: ModelConfig, plan: ParallelismConfig,
+                    training: TrainingConfig, footprint: MemoryFootprint,
+                    result: SimulationResult) -> IterationPrediction:
+        """Wrap one replay result in the predict() output contract."""
         tokens = training.tokens_per_iteration(model)
         model_flops = model.model_flops_per_iteration(tokens)
         peak = plan.total_gpus * self.system.gpu.peak_fp16_flops
@@ -239,6 +247,87 @@ class VTrain:
             memory_per_gpu=footprint.total,
             simulation=result,
         )
+
+    def prepare_checked(self, model: ModelConfig, plan: ParallelismConfig,
+                        training: TrainingConfig,
+                        ) -> tuple[MemoryFootprint, PreparedPlan]:
+        """:meth:`predict`'s front half: memory check, then compile.
+
+        Performs exactly the checks :meth:`predict` performs, in the
+        same order (so infeasible plans raise before any graph work),
+        and returns the pieces a batched replay needs. Callers that
+        group several structure-affine plans hand the results to
+        :meth:`predict_prepared`.
+
+        Raises:
+            InfeasibleConfigError: Structural violation, or (when memory
+                checking is enabled) per-GPU memory overflow.
+        """
+        if self.check_memory_feasibility:
+            footprint = check_memory(model, plan, training, self.system,
+                                     zero_stage=self.zero_stage)
+        else:
+            footprint = memory_footprint(model, plan, training,
+                                         zero_stage=self.zero_stage)
+        return footprint, self.prepare(model, plan, training)
+
+    def predict_prepared(
+            self, model: ModelConfig, training: TrainingConfig,
+            entries: list[tuple[ParallelismConfig, MemoryFootprint,
+                                PreparedPlan]],
+    ) -> list[IterationPrediction]:
+        """Replay already-prepared plans, batching structure-affine runs.
+
+        ``entries`` come from :meth:`prepare_checked`. Runs sharing one
+        compiled :class:`~repro.graph.structure.GraphStructure` object
+        (the common case inside an affinity-sorted DSE sweep, where the
+        process-wide structure cache returns the same instance) are
+        stacked into a ``(tasks x N)`` matrix and replayed by a single
+        :func:`~repro.sim.engine.simulate_retimed_batch` sweep; the rest
+        replay through the scalar engine. Either path yields
+        bit-identical :class:`IterationPrediction` values, returned in
+        entry order.
+        """
+        groups: dict[int, list[int]] = {}
+        for position, (_, _, prepared) in enumerate(entries):
+            groups.setdefault(id(prepared.structure), []).append(position)
+        results: list[SimulationResult | None] = [None] * len(entries)
+        for positions in groups.values():
+            if len(positions) == 1:
+                _, _, prepared = entries[positions[0]]
+                results[positions[0]] = simulate_retimed(
+                    prepared.structure, prepared.durations,
+                    metadata=prepared.metadata)
+                continue
+            structure = entries[positions[0]][2].structure
+            matrix = np.stack(
+                [entries[p][2].durations for p in positions], axis=1)
+            batch = simulate_retimed_batch(structure, matrix)
+            for column, position in enumerate(positions):
+                results[position] = batch.column(
+                    column, metadata=entries[position][2].metadata)
+        self.num_predictions += len(entries)
+        return [self._prediction(model, plan, training, footprint, result)
+                for (plan, footprint, _), result in zip(entries, results)]
+
+    def predict_batch(self, model: ModelConfig,
+                      plans: list[ParallelismConfig],
+                      training: TrainingConfig) -> list[IterationPrediction]:
+        """Predict several plans for one model, batching shared structures.
+
+        Equivalent to ``[self.predict(model, p, training) for p in
+        plans]`` — bit-identical predictions in plan order — but plans
+        whose compiled structures coincide replay in one vectorized
+        sweep. Like :meth:`predict`, raises on the first infeasible
+        plan; callers that need per-plan feasibility (the DSE explorers)
+        call :meth:`prepare_checked` / :meth:`predict_prepared`
+        themselves.
+        """
+        entries = []
+        for plan in plans:
+            footprint, prepared = self.prepare_checked(model, plan, training)
+            entries.append((plan, footprint, prepared))
+        return self.predict_prepared(model, training, entries)
 
     def predict_description(self, description: InputDescription,
                             ) -> IterationPrediction:

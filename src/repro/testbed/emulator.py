@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
 from repro.config.system import SystemConfig
@@ -38,7 +40,7 @@ from repro.graph.structure import (GraphStructure, KIND_COMPUTE, KIND_DP_COMM,
                                    KIND_WEIGHT_UPDATE)
 from repro.hardware.cluster import ClusterTopology
 from repro.hardware.interconnect import LinkType
-from repro.sim.engine import simulate_retimed
+from repro.sim.engine import simulate_retimed, simulate_retimed_batch
 from repro.sim.estimator import VTrain
 from repro.testbed import noise
 
@@ -105,6 +107,27 @@ class MeasuredIteration:
     session_key: str
 
 
+@dataclass(frozen=True)
+class _SessionDraws:
+    """Per-measurement-campaign perturbation state, drawn once.
+
+    Everything here is independent of the *sample* session key: the
+    allocation's calibration draw is keyed by (model, scale) alone, and
+    the contention/SM-penalty/launch factors are deterministic functions
+    of the plan's topology. Hoisting them out of the per-sample loop
+    guarantees sample ``k`` of a batched campaign perturbs durations
+    exactly as ``k`` standalone measurements would — it also stops the
+    emulator re-deriving the same topology queries per measurement.
+    """
+
+    dp_link: LinkType | None
+    dp_contention: float
+    sm_penalty: float
+    launch: float
+    multi_node: bool
+    calibration: float
+
+
 class TestbedEmulator:
     """Measures "real" single-iteration training times.
 
@@ -143,27 +166,63 @@ class TestbedEmulator:
         campaigns re-measuring one model under many plans never rebuild
         a graph they already compiled.
         """
+        return self.measure_samples(model, plan, training, 1)[0]
+
+    def measure_samples(self, model: ModelConfig, plan: ParallelismConfig,
+                        training: TrainingConfig, num_samples: int,
+                        ) -> list[MeasuredIteration]:
+        """Run ``num_samples`` "real" iterations of one configuration.
+
+        Sample 0 is the plain measurement session (bit-identical to
+        :meth:`measure`); sample ``k > 0`` re-runs the iteration under
+        the derived session ``<session>/it<k>``, re-drawing every
+        run-to-run effect (kernel jitter, stragglers, overheads) while
+        the campaign-level draws (:class:`_SessionDraws`) are shared —
+        exactly how repeated iterations on one allocation behave. All K
+        perturbed duration vectors replay through one
+        :func:`~repro.sim.engine.simulate_retimed_batch` sweep, whose
+        columns are bit-identical to K scalar replays.
+        """
+        if num_samples < 1:
+            raise ConfigError("num_samples must be >= 1")
         prepared = self._vtrain.prepare(model, plan, training)
         session = self._session_key(model, plan, training)
-        perturbed = self._perturb(prepared.structure, prepared.durations,
-                                  self._kernel_counts(prepared),
-                                  model, plan, session)
-        result = simulate_retimed(prepared.structure, perturbed,
-                                  metadata=prepared.metadata)
-        overhead = self.config.iteration_overhead * noise.one_sided(
-            session + "/iter_overhead", 1.0)
-        if ClusterTopology(self.system, plan).num_nodes_used() > 1:
-            # Per-iteration cross-node synchronisation cost: NCCL kernel
-            # launches and barrier waits that the paper lists among
-            # vTrain's unmodelled multi-node latencies. A fixed cost per
-            # iteration hurts short iterations proportionally more,
-            # which is exactly the Figure 9(b) error profile.
-            overhead += self.config.internode_sync_overhead * noise.jitter(
-                session + "/sync_overhead", 0.3)
-        return MeasuredIteration(
-            iteration_time=result.iteration_time + overhead,
-            num_tasks=result.num_tasks,
-            session_key=session)
+        draws = self._session_draws(model, plan)
+        kernel_counts = self._kernel_counts(prepared)
+        sessions = [session if k == 0 else f"{session}/it{k}"
+                    for k in range(num_samples)]
+        columns = [self._perturb(prepared.structure, prepared.durations,
+                                 kernel_counts, plan, sample_session, draws)
+                   for sample_session in sessions]
+        if num_samples == 1:
+            result = simulate_retimed(prepared.structure, columns[0],
+                                      metadata=prepared.metadata)
+            makespans = [result.iteration_time]
+        else:
+            matrix = np.stack([np.asarray(column, dtype=np.float64)
+                               for column in columns], axis=1)
+            batch = simulate_retimed_batch(prepared.structure, matrix,
+                                           metadata=prepared.metadata)
+            makespans = batch.iteration_times()
+        measurements = []
+        for sample_session, makespan in zip(sessions, makespans):
+            overhead = self.config.iteration_overhead * noise.one_sided(
+                sample_session + "/iter_overhead", 1.0)
+            if draws.multi_node:
+                # Per-iteration cross-node synchronisation cost: NCCL
+                # kernel launches and barrier waits that the paper lists
+                # among vTrain's unmodelled multi-node latencies. A
+                # fixed cost per iteration hurts short iterations
+                # proportionally more, which is exactly the Figure 9(b)
+                # error profile.
+                overhead += (self.config.internode_sync_overhead
+                             * noise.jitter(
+                                 sample_session + "/sync_overhead", 0.3))
+            measurements.append(MeasuredIteration(
+                iteration_time=makespan + overhead,
+                num_tasks=prepared.structure.num_tasks,
+                session_key=sample_session))
+        return measurements
 
     def measure_time(self, model: ModelConfig, plan: ParallelismConfig,
                      training: TrainingConfig) -> float:
@@ -213,10 +272,9 @@ class TestbedEmulator:
                                    self.config.straggler_sigma)
                    for i in range(samples))
 
-    def _perturb(self, structure: GraphStructure, durations,
-                 kernel_counts: list[int], model: ModelConfig,
-                 plan: ParallelismConfig, session: str) -> list[float]:
-        """Testbed-perturbed duration vector (replay order) for one run."""
+    def _session_draws(self, model: ModelConfig,
+                       plan: ParallelismConfig) -> _SessionDraws:
+        """Campaign-level perturbation state (sample-session-free)."""
         cfg = self.config
         model_key = (f"{model.hidden_size}x{model.num_layers}"
                      f"x{model.seq_length}")
@@ -227,17 +285,7 @@ class TestbedEmulator:
         # Contention grows with the log of concurrent groups on a node.
         dp_contention = 1.0 + cfg.dp_contention_per_group * (
             max(1, dp_groups) - 1).bit_length()
-        launch = self.system.gpu.kernel_launch_overhead
         multi_node_plan = topology.num_nodes_used() > 1
-        if multi_node_plan:
-            # Straggler nodes only matter once synchronisation crosses
-            # node boundaries (Section IV, multi-node error discussion).
-            stage_straggler = {
-                device: self._straggler(session, device, plan.data)
-                for device in range(structure.num_devices)}
-        else:
-            stage_straggler = {device: 1.0
-                               for device in range(structure.num_devices)}
         # NCCL All-Reduce kernels occupy SMs, slowing the compute they
         # overlap with; only inter-node DP traffic lives long enough for
         # this to matter.
@@ -253,7 +301,33 @@ class TestbedEmulator:
                   else cfg.compute_calibration_spread)
         allocation_key = (f"{cfg.seed}/allocation/{model_key}"
                           f"/{topology.num_nodes_used()}nodes")
-        calibration = noise.jitter(allocation_key, spread)
+        return _SessionDraws(
+            dp_link=dp_link,
+            dp_contention=dp_contention,
+            sm_penalty=sm_penalty,
+            launch=self.system.gpu.kernel_launch_overhead,
+            multi_node=multi_node_plan,
+            calibration=noise.jitter(allocation_key, spread))
+
+    def _perturb(self, structure: GraphStructure, durations,
+                 kernel_counts: list[int], plan: ParallelismConfig,
+                 session: str, draws: _SessionDraws) -> list[float]:
+        """Testbed-perturbed duration vector (replay order) for one run."""
+        cfg = self.config
+        dp_link = draws.dp_link
+        dp_contention = draws.dp_contention
+        sm_penalty = draws.sm_penalty
+        launch = draws.launch
+        calibration = draws.calibration
+        if draws.multi_node:
+            # Straggler nodes only matter once synchronisation crosses
+            # node boundaries (Section IV, multi-node error discussion).
+            stage_straggler = {
+                device: self._straggler(session, device, plan.data)
+                for device in range(structure.num_devices)}
+        else:
+            stage_straggler = {device: 1.0
+                               for device in range(structure.num_devices)}
 
         kinds = structure.kinds
         perturbed: list[float] = []

@@ -140,3 +140,111 @@ class TestEmulator:
             tiny_model, plan_none, training).builder.slot_kernel_counts()
         assert bwd_mha_count > none_table["op:bwd_mha"]
         assert bwd_mha_count in counts
+
+
+class TestGoldenMeasurements:
+    """Exact pinned measure() outputs.
+
+    The batched-sampling refactor hoisted the campaign-level draws
+    (calibration, contention, SM penalty) out of the per-measurement
+    path; these golden values prove the hoist moved no bits — every
+    historical measurement is reproduced exactly.
+    """
+
+    def test_single_node_golden(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        measured = TestbedEmulator(single_node()).measure(tiny_model, plan,
+                                                          training)
+        assert measured.iteration_time == 0.005691257955599904
+        assert measured.num_tasks == 162
+        assert measured.session_key == \
+            "a100-testbed/512x4x128x8/(2, 2, 2)-way, m=2, 1f1b/B16"
+
+    def test_single_node_clean_golden(self, tiny_model, training):
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        emulator = TestbedEmulator(
+            single_node(), config=TestbedConfig().without_interference())
+        assert emulator.measure_time(tiny_model, plan, training) == \
+            0.005626859139051697
+
+    def test_multi_node_golden(self, small_model, training):
+        plan = ParallelismConfig(tensor=2, data=4, pipeline=4,
+                                 micro_batch_size=2)
+        measured = TestbedEmulator(multi_node(4)).measure(small_model, plan,
+                                                          training)
+        assert measured.iteration_time == 0.14357382017975193
+        assert measured.session_key == \
+            "a100-testbed/1024x8x512x16/(2, 4, 4)-way, m=2, 1f1b/B16"
+
+    def test_multi_node_clean_golden(self, small_model, training):
+        plan = ParallelismConfig(tensor=2, data=4, pipeline=4,
+                                 micro_batch_size=2)
+        emulator = TestbedEmulator(
+            multi_node(4), config=TestbedConfig().without_interference())
+        assert emulator.measure_time(small_model, plan, training) == \
+            0.012715710049276203
+
+
+class TestMeasureSamples:
+    def test_sample_zero_is_measure(self, tiny_model, training):
+        emulator = TestbedEmulator(single_node())
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        samples = emulator.measure_samples(tiny_model, plan, training, 4)
+        assert samples[0] == emulator.measure(tiny_model, plan, training)
+
+    def test_samples_deterministic_and_distinct(self, tiny_model, training):
+        emulator = TestbedEmulator(single_node())
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        first = emulator.measure_samples(tiny_model, plan, training, 5)
+        second = emulator.measure_samples(tiny_model, plan, training, 5)
+        assert first == second
+        assert len({sample.iteration_time for sample in first}) == 5
+
+    def test_sample_sessions_derive_from_base(self, tiny_model, training):
+        emulator = TestbedEmulator(single_node())
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        samples = emulator.measure_samples(tiny_model, plan, training, 3)
+        base = samples[0].session_key
+        assert [sample.session_key for sample in samples] == \
+            [base, f"{base}/it1", f"{base}/it2"]
+
+    def test_batched_samples_match_scalar_replays(self, small_model,
+                                                  training):
+        """Each batched sample equals a scalar replay of its own
+        perturbed duration vector plus its own overhead draws — the
+        bit-identity contract of the batched measurement path, on the
+        multi-node emulator where every perturbation source is live."""
+        from repro.sim.engine import simulate_retimed
+        from repro.testbed import noise
+        emulator = TestbedEmulator(multi_node(4))
+        plan = ParallelismConfig(tensor=2, data=4, pipeline=4,
+                                 micro_batch_size=2)
+        samples = emulator.measure_samples(small_model, plan, training, 4)
+        prepared = emulator._vtrain.prepare(small_model, plan, training)
+        draws = emulator._session_draws(small_model, plan)
+        counts = emulator._kernel_counts(prepared)
+        base = emulator._session_key(small_model, plan, training)
+        for index, sample in enumerate(samples):
+            session = base if index == 0 else f"{base}/it{index}"
+            perturbed = emulator._perturb(prepared.structure,
+                                          prepared.durations, counts, plan,
+                                          session, draws)
+            replay = simulate_retimed(prepared.structure, perturbed)
+            overhead = emulator.config.iteration_overhead * noise.one_sided(
+                session + "/iter_overhead", 1.0)
+            overhead += (emulator.config.internode_sync_overhead
+                         * noise.jitter(session + "/sync_overhead", 0.3))
+            assert sample.iteration_time == \
+                replay.iteration_time + overhead
+
+    def test_zero_samples_rejected(self, tiny_model, training):
+        emulator = TestbedEmulator(single_node())
+        plan = ParallelismConfig(tensor=2, data=2, pipeline=2,
+                                 micro_batch_size=2)
+        with pytest.raises(ConfigError, match="num_samples"):
+            emulator.measure_samples(tiny_model, plan, training, 0)
