@@ -43,6 +43,7 @@ from pathlib import Path
 import numpy as np
 from _helpers import emit_table
 
+from repro import obs
 from repro.config.presets import (MT_NLG_530B, MT_NLG_BASELINE_PLANS,
                                   MT_NLG_TRAINING)
 from repro.config.system import multi_node
@@ -58,6 +59,13 @@ BENCH_FILE = Path(__file__).parent / "results" / "BENCH_sim_speed.json"
 BENCH_SCHEMA = 2
 #: Allowed regression vs a committed baseline's gated ratio.
 REGRESSION_HEADROOM = 1.25
+#: Tighter bound for the observability instrumentation specifically:
+#: with the obs switch off (the default), the instrumented warm-predict
+#: path must stay within 3% of the committed baseline ratio, so spans
+#: and histograms on the hot path can never silently tax the PR-3/PR-6
+#: wins. (The 1.25x gate above still catches catastrophic regressions
+#: when obs is force-enabled for a profiling run.)
+OBS_DISABLED_HEADROOM = 1.03
 #: Minimum speedup of the structure-cache warm path over a full
 #: rebuild + reference replay (the acceptance bar for the split).
 MIN_SPEEDUP = 3.0
@@ -205,6 +213,15 @@ def test_warm_predict_speedup_and_regression_gate():
             f"warm-predict latency regressed: warm/reference {ratio:.4f} "
             f"exceeds committed baseline {baseline['warm_over_reference']} "
             f"by more than {REGRESSION_HEADROOM}x")
+        if not obs.enabled():
+            obs_limit = (baseline["warm_over_reference"]
+                         * OBS_DISABLED_HEADROOM)
+            assert ratio <= obs_limit, (
+                f"disabled observability is taxing warm predict: "
+                f"warm/reference {ratio:.4f} exceeds committed baseline "
+                f"{baseline['warm_over_reference']} by more than "
+                f"{OBS_DISABLED_HEADROOM}x — instrumentation must be "
+                f"free when off")
 
     # Record only passing runs.
     _record("warm_predict",

@@ -3,11 +3,17 @@
 Commands:
 
 * ``predict <description.json>`` — run one simulation from a vTrain-style
-  input description file and print iteration time, utilization, memory,
-  and (if the description carries a token budget) days and dollars.
+  input description file (or ``--preset mtnlg``) and print iteration
+  time, utilization, memory, and (if the description carries a token
+  budget) days and dollars. ``--trace out.json`` additionally writes a
+  Chrome Trace Event Format file holding the simulated device timeline
+  next to the engine's own spans (open in chrome://tracing or Perfetto).
 * ``dse <preset>`` — sweep the (t, d, p, m) design space for a preset
   model, optionally in parallel (``--workers``) and with a persistent
-  prediction cache (``--cache`` / ``--checkpoint``).
+  prediction cache (``--cache`` / ``--checkpoint``); ``--metrics``
+  prints and saves the observability registry snapshot.
+* ``stats`` — pretty-print a saved metrics snapshot (cache hit rates,
+  replay-throughput histograms with p50/p99).
 * ``example <name>`` — write a ready-to-edit description file for a
   preset model (``gpt3-175b``, ``mt-nlg-530b``, ...).
 * ``presets`` — list the bundled model presets.
@@ -19,20 +25,31 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.config.description import InputDescription
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
-from repro.config.presets import MODEL_ZOO
+from repro.config.presets import (GPT3_TRAINING, MODEL_ZOO,
+                                  MT_NLG_530B, MT_NLG_BASELINE_PLANS,
+                                  MT_NLG_TRAINING)
 from repro.config.system import NetworkSpec, multi_node
 from repro.dse.cache import PredictionCache
 from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.report import save_csv, to_markdown
 from repro.dse.space import SearchSpace
 from repro.errors import ReproError
-from repro.graph.builder import Granularity
+from repro.graph.builder import Granularity, structure_cache_stats
+from repro.obs.export import combined_trace, write_trace
 from repro.sim.estimator import VTrain
 
 GIB = float(1 << 30)
+
+#: Short spellings accepted by ``predict --preset`` on top of the
+#: canonical zoo keys (``mt-nlg-530b`` etc.).
+PRESET_ALIASES = {
+    "mtnlg": "mt-nlg-530b",
+    "gpt3": "gpt-3-175b",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,9 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     predict = commands.add_parser(
-        "predict", help="simulate one input description file")
-    predict.add_argument("description", type=Path,
-                         help="path to a JSON input description")
+        "predict", help="simulate one input description file or preset")
+    predict.add_argument("description", type=Path, nargs="?",
+                         help="path to a JSON input description (omit when "
+                              "using --preset)")
+    predict.add_argument("--preset", metavar="NAME",
+                         help="simulate a bundled preset instead of a "
+                              "description file: a `repro presets` key or "
+                              "a short alias "
+                              f"({', '.join(sorted(PRESET_ALIASES))})")
     predict.add_argument("--granularity", default="operator",
                          choices=[g.value for g in Granularity],
                          help="execution-graph detail level")
@@ -55,8 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--timing", action="store_true",
                          help="print a phase breakdown of where the "
                               "prediction's wall time went (memory check, "
-                              "structure build or cache hit, duration fill, "
-                              "replay)")
+                              "network setup, structure build or cache "
+                              "hit, duration fill, replay)")
+    predict.add_argument("--trace", type=Path, metavar="PATH",
+                         help="write a Chrome Trace Event Format JSON "
+                              "file holding the simulated device timeline "
+                              "and the engine's own spans (view in "
+                              "chrome://tracing or ui.perfetto.dev)")
 
     dse = commands.add_parser(
         "dse", help="sweep the 3D-parallelism design space for a preset "
@@ -128,6 +156,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="ranking for the best-plans table (default: cost)")
     dse.add_argument("--quiet", action="store_true",
                      help="suppress progress reporting on stderr")
+    dse.add_argument("--metrics", type=Path, nargs="?", metavar="PATH",
+                     const=Path(""), default=None,
+                     help="enable observability for the sweep, print the "
+                          "metrics snapshot afterwards, and save it as "
+                          "JSON (default path: repro_obs_snapshot.json; "
+                          "inspect later with `repro stats`)")
+
+    stats = commands.add_parser(
+        "stats", help="pretty-print a saved metrics snapshot (cache hit "
+                      "rates, replay-throughput histograms with p50/p99)")
+    stats.add_argument("snapshot", type=Path, nargs="?",
+                       help="snapshot JSON written by `repro dse "
+                            "--metrics` (default: "
+                            "repro_obs_snapshot.json, or "
+                            "$REPRO_OBS_SNAPSHOT)")
 
     example = commands.add_parser(
         "example", help="write an editable example description file")
@@ -151,14 +194,47 @@ def _preset_by_key(key: str) -> ModelConfig:
     raise ReproError(f"unknown preset {key!r}")
 
 
+def _preset_description(key: str) -> InputDescription:
+    """An :class:`InputDescription` for one bundled preset.
+
+    MT-NLG gets its published Table-I plan and training recipe; other
+    presets get the same heuristic plan ``repro example`` writes.
+    """
+    key = PRESET_ALIASES.get(key, key)
+    model = _preset_by_key(key)
+    if model is MT_NLG_530B:
+        plan = MT_NLG_BASELINE_PLANS[0]
+        training = MT_NLG_TRAINING
+    else:
+        plan = ParallelismConfig(tensor=min(8, model.num_heads), data=4,
+                                 pipeline=1)
+        while model.num_heads % plan.tensor:
+            plan = plan.replaced(tensor=plan.tensor // 2)
+        training = (GPT3_TRAINING if key == "gpt-3-175b"
+                    else TrainingConfig(global_batch_size=64,
+                                        total_tokens=1_000_000_000))
+    nodes = max(1, plan.total_gpus // 8)
+    return InputDescription(model=model, system=multi_node(nodes),
+                            plan=plan, training=training)
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
-    description = InputDescription.load(args.description)
+    if (args.description is None) == (args.preset is None):
+        raise ReproError(
+            "predict needs a description file or --preset (not both)")
+    if args.preset is not None:
+        description = _preset_description(args.preset)
+    else:
+        description = InputDescription.load(args.description)
     description.validate()
+    if args.trace:
+        obs.enable()
     vtrain = VTrain(description.system,
                     granularity=Granularity(args.granularity),
                     check_memory_feasibility=not args.no_memory_check)
     prediction = vtrain.predict(description.model, description.plan,
-                                description.training)
+                                description.training,
+                                record_timeline=args.trace is not None)
     print(f"model            : {description.model.describe()}")
     print(f"system           : {description.system.describe()}")
     print(f"plan             : {description.plan.describe()}")
@@ -170,11 +246,22 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         timing = vtrain.last_predict_timing
         print("timing breakdown :")
         print(f"  memory check   : {timing.memory_check_s * 1e3:.2f} ms")
+        print(f"  network setup  : {timing.builder_init_s * 1e3:.2f} ms")
         print(f"  structure      : {timing.structure_s * 1e3:.2f} ms "
               f"({timing.structure_source})")
         print(f"  duration fill  : {timing.fill_s * 1e3:.2f} ms")
         print(f"  replay         : {timing.replay_s * 1e3:.2f} ms")
         print(f"  total          : {timing.total_s * 1e3:.2f} ms")
+    if args.trace:
+        payload = combined_trace(
+            prediction.simulation,
+            engine_events=obs.tracer.chrome_trace(),
+            metadata={"model": description.model.describe(),
+                      "plan": description.plan.describe(),
+                      "granularity": args.granularity})
+        write_trace(args.trace, payload)
+        print(f"trace            : wrote "
+              f"{len(payload['traceEvents'])} events to {args.trace}")
     if description.training.total_tokens:
         estimate = vtrain.estimate_training(description.model,
                                             description.plan,
@@ -189,6 +276,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_dse(args: argparse.Namespace) -> int:
     model = _preset_by_key(args.model)
     NetworkSpec.parse(args.network)  # reject bad specs before sweeping
+    if args.metrics is not None:
+        obs.enable()
     training = TrainingConfig(global_batch_size=args.global_batch,
                               total_tokens=args.total_tokens)
     space = SearchSpace(max_tensor=args.max_tensor, max_data=args.max_data,
@@ -222,6 +311,11 @@ def _cmd_dse(args: argparse.Namespace) -> int:
           f"({result.num_feasible} feasible)")
     print(f"cache            : {cache.hits} hits, {cache.misses} misses, "
           f"{len(cache)} entries")
+    structure = structure_cache_stats()
+    print(f"structure cache  : {structure['hits']} hits, "
+          f"{structure['misses']} misses, "
+          f"{structure['evictions']} evictions, "
+          f"{structure['entries']} entries")
     if result.num_feasible:
         fastest = result.best_by_iteration_time()
         cheapest = result.best_by_cost()
@@ -239,6 +333,26 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     if args.csv:
         save_csv(result, args.csv)
         print(f"\nwrote {result.num_feasible} feasible points to {args.csv}")
+    if args.metrics is not None:
+        target = None if args.metrics == Path("") else args.metrics
+        written = obs.save_snapshot(target)
+        print()
+        print("observability snapshot:")
+        print(obs.format_snapshot(obs.snapshot()))
+        print(f"saved metrics    : {written}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    path = args.snapshot if args.snapshot else obs.default_snapshot_path()
+    try:
+        snap = obs.load_snapshot(path)
+    except FileNotFoundError:
+        raise ReproError(
+            f"no metrics snapshot at {path} — run `repro dse ... "
+            f"--metrics` first, or pass the snapshot path") from None
+    print(f"snapshot         : {path}")
+    print(obs.format_snapshot(snap))
     return 0
 
 
@@ -271,7 +385,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {"predict": _cmd_predict, "dse": _cmd_dse,
-                "example": _cmd_example, "presets": _cmd_presets}
+                "stats": _cmd_stats, "example": _cmd_example,
+                "presets": _cmd_presets}
     try:
         return handlers[args.command](args)
     except (ReproError, FileNotFoundError) as exc:

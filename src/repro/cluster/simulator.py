@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.cluster.job import JobOutcome, JobSpec
 from repro.cluster.scheduler import ElasticFlowScheduler, SchedulableJob
 from repro.errors import SchedulingError
@@ -60,6 +61,15 @@ class ClusterSimulator:
 
     def run(self, jobs: list[JobSpec]) -> ClusterRunResult:
         """Simulate the full lifetime of every job in the trace."""
+        event_counter = obs.metrics.counter("cluster.events")
+        before = event_counter.value
+        with obs.span("cluster.run", category="cluster",
+                      jobs=len(jobs)) as tags:
+            result = self._run(jobs)
+            tags["events"] = event_counter.value - before
+        return result
+
+    def _run(self, jobs: list[JobSpec]) -> ClusterRunResult:
         pending = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
         active: dict[int, _RunningJob] = {}
         outcomes: dict[int, JobOutcome] = {}
@@ -69,6 +79,7 @@ class ClusterSimulator:
 
         while pending or active:
             events += 1
+            obs.count("cluster.events")
             if events > max_events:
                 raise SchedulingError(
                     "cluster simulation exceeded its event budget "

@@ -25,12 +25,20 @@ import tempfile
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro import obs
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
 from repro.config.system import SystemConfig
 from repro.dse.explorer import DesignPoint
 from repro.errors import ConfigError
 from repro.graph.builder import Granularity
+
+# Process-wide aggregates across every PredictionCache instance, so
+# `repro stats` reports one prediction-cache hit rate no matter how many
+# caches a sweep constructed. Per-instance hits/misses stay on the
+# instances themselves (tests and checkpoint logs rely on them).
+_AGG_HITS = obs.metrics.counter("dse.prediction_cache.hits")
+_AGG_MISSES = obs.metrics.counter("dse.prediction_cache.misses")
 
 #: Bump when the prediction payload or fingerprint recipe changes, so
 #: stale caches are rejected instead of silently misread.
@@ -96,12 +104,16 @@ class PredictionCache:
     # Lookup / store
     # ------------------------------------------------------------------
     def get(self, key: str) -> DesignPoint | None:
-        """The cached point for ``key``, counting a hit or a miss."""
+        """The cached point for ``key``, counting a hit or a miss (both
+        on this instance and on the ``dse.prediction_cache.*`` registry
+        aggregates)."""
         payload = self._entries.get(key)
         if payload is None:
             self.misses += 1
+            _AGG_MISSES.increment()
             return None
         self.hits += 1
+        _AGG_HITS.increment()
         return DesignPoint.from_dict(payload)
 
     def put(self, key: str, point: DesignPoint) -> None:

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, TYPE_CHECKING
 
+from repro import obs
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
 from repro.config.system import SystemConfig, multi_node
@@ -276,28 +277,34 @@ class DesignSpaceExplorer:
         """
         points: list[DesignPoint | None] = [None] * len(plans)
         survivors: dict[int, tuple[VTrain, list[int], list]] = {}
-        for position, plan in enumerate(plans):
-            simulator = self._simulator_for(plan.total_gpus)
-            try:
-                footprint, prepared = simulator.prepare_checked(
-                    self.model, plan, self.training)
-            except (InfeasibleConfigError, ConfigError) as exc:
-                points[position] = DesignPoint(plan=plan, feasible=False,
-                                               infeasible_reason=str(exc))
-                continue
-            _, positions, entries = survivors.setdefault(
-                id(simulator), (simulator, [], []))
-            positions.append(position)
-            entries.append((plan, footprint, prepared))
-        for simulator, positions, entries in survivors.values():
-            predictions = simulator.predict_prepared(self.model,
-                                                     self.training, entries)
-            for position, prediction in zip(positions, predictions):
-                points[position] = DesignPoint(
-                    plan=plans[position], feasible=True,
-                    iteration_time=prediction.iteration_time,
-                    utilization=prediction.gpu_compute_utilization,
-                    memory_gib=prediction.memory_per_gpu / float(1 << 30))
+        with obs.span("dse.evaluate_batch", category="dse",
+                      plans=len(plans)):
+            for position, plan in enumerate(plans):
+                simulator = self._simulator_for(plan.total_gpus)
+                try:
+                    footprint, prepared = simulator.prepare_checked(
+                        self.model, plan, self.training)
+                except (InfeasibleConfigError, ConfigError) as exc:
+                    points[position] = DesignPoint(
+                        plan=plan, feasible=False,
+                        infeasible_reason=str(exc))
+                    obs.count("dse.plans_infeasible")
+                    continue
+                _, positions, entries = survivors.setdefault(
+                    id(simulator), (simulator, [], []))
+                positions.append(position)
+                entries.append((plan, footprint, prepared))
+            for simulator, positions, entries in survivors.values():
+                predictions = simulator.predict_prepared(
+                    self.model, self.training, entries)
+                for position, prediction in zip(positions, predictions):
+                    points[position] = DesignPoint(
+                        plan=plans[position], feasible=True,
+                        iteration_time=prediction.iteration_time,
+                        utilization=prediction.gpu_compute_utilization,
+                        memory_gib=prediction.memory_per_gpu
+                        / float(1 << 30))
+        obs.count("dse.plans_evaluated", len(plans))
         return points
 
     def explore(self, *, space: SearchSpace = SearchSpace(),

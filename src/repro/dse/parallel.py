@@ -33,6 +33,7 @@ import os
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
+from repro import obs
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
 from repro.config.system import SystemConfig
@@ -86,7 +87,11 @@ def _evaluate_chunk(chunk: list[tuple[int, dict[str, Any]]],
     assert _WORKER_EXPLORER is not None, "worker initializer did not run"
     plans = [ParallelismConfig.from_dict(plan_dict)
              for _, plan_dict in chunk]
-    points = _WORKER_EXPLORER.evaluate_batch(plans)
+    # Observability state is per-process: a worker's spans/metrics stay
+    # in the worker. Counters the parent cares about (cache hits) are
+    # re-counted when it absorbs results through its own cache.
+    with obs.span("dse.chunk", category="dse", plans=len(plans)):
+        points = _WORKER_EXPLORER.evaluate_batch(plans)
     return [(index, point.to_dict())
             for (index, _), point in zip(chunk, points)]
 
@@ -180,6 +185,12 @@ class ParallelExplorer:
                                     num_gpus=num_gpus, max_gpus=max_gpus)
         plan_list = list(plans)
         total = len(plan_list)
+        with obs.span("dse.sweep", category="dse", plans=total,
+                      workers=self.workers):
+            return self._explore_plans(plan_list, total)
+
+    def _explore_plans(self, plan_list: list[ParallelismConfig],
+                       total: int) -> DSEResult:
         self._load_checkpoint()
 
         points: list[DesignPoint | None] = [None] * total

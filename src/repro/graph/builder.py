@@ -40,6 +40,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import obs
 from repro.config.model import ModelConfig
 from repro.config.parallelism import (ParallelismConfig, TrainingConfig,
                                       layers_per_stage, num_micro_batches,
@@ -85,7 +86,13 @@ class Granularity(enum.Enum):
 # each warm their own), LRU-evicted against a total-task budget.
 
 _STRUCTURE_CACHE: "OrderedDict[str, GraphStructure]" = OrderedDict()
-_STRUCTURE_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+# Hit/miss/eviction accounting lives on the process-wide obs registry
+# (single source of truth for `repro stats`); structure_cache_stats()
+# below remains the stable dict-shaped view callers and tests use.
+_CACHE_HITS = obs.metrics.counter("graph.structure_cache.hits")
+_CACHE_MISSES = obs.metrics.counter("graph.structure_cache.misses")
+_CACHE_EVICTIONS = obs.metrics.counter("graph.structure_cache.evictions")
 
 #: Default cap on the summed task count of cached structures (~200 MB
 #: worst case); override with REPRO_STRUCTURE_CACHE_TASKS.
@@ -106,10 +113,10 @@ def structure_cache_get(key: str) -> GraphStructure | None:
     """Cached structure for ``key`` (counts a hit or a miss)."""
     structure = _STRUCTURE_CACHE.get(key)
     if structure is None:
-        _STRUCTURE_CACHE_STATS["misses"] += 1
+        _CACHE_MISSES.increment()
         return None
     _STRUCTURE_CACHE.move_to_end(key)
-    _STRUCTURE_CACHE_STATS["hits"] += 1
+    _CACHE_HITS.increment()
     return structure
 
 
@@ -122,7 +129,7 @@ def structure_cache_put(key: str, structure: GraphStructure) -> None:
     while total > budget and len(_STRUCTURE_CACHE) > 1:
         _, evicted = _STRUCTURE_CACHE.popitem(last=False)
         total -= evicted.num_tasks
-        _STRUCTURE_CACHE_STATS["evictions"] += 1
+        _CACHE_EVICTIONS.increment()
 
 
 def structure_cache_evict(key: str) -> None:
@@ -131,8 +138,11 @@ def structure_cache_evict(key: str) -> None:
 
 
 def structure_cache_stats() -> dict[str, int]:
-    """Hit/miss/eviction/size counters for this process."""
-    return {**_STRUCTURE_CACHE_STATS,
+    """Hit/miss/eviction/size counters for this process (thin view over
+    the ``graph.structure_cache.*`` obs registry counters)."""
+    return {"hits": _CACHE_HITS.value,
+            "misses": _CACHE_MISSES.value,
+            "evictions": _CACHE_EVICTIONS.value,
             "entries": len(_STRUCTURE_CACHE),
             "cached_tasks": sum(entry.num_tasks
                                 for entry in _STRUCTURE_CACHE.values())}
@@ -141,8 +151,8 @@ def structure_cache_stats() -> dict[str, int]:
 def clear_structure_cache() -> None:
     """Empty the cache and reset its counters (tests, benchmarks)."""
     _STRUCTURE_CACHE.clear()
-    for counter in _STRUCTURE_CACHE_STATS:
-        _STRUCTURE_CACHE_STATS[counter] = 0
+    for counter in (_CACHE_HITS, _CACHE_MISSES, _CACHE_EVICTIONS):
+        counter.reset()
 
 
 def structure_fingerprint(model: ModelConfig, plan: ParallelismConfig,

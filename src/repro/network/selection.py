@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 
+from repro import obs
 from repro.errors import ConfigError
 from repro.hardware.interconnect import log2_ceil
 
@@ -59,7 +60,11 @@ def select_algorithm(size_bytes: float, group_size: int, *,
     if nodes_spanned < 1 or ranks_per_node < 1:
         raise ConfigError("nodes_spanned and ranks_per_node must be >= 1")
     if nodes_spanned > 1 and ranks_per_node > 1:
-        return CollectiveAlgorithm.HIERARCHICAL
-    if size_bytes <= tree_threshold(group_size):
-        return CollectiveAlgorithm.TREE
-    return CollectiveAlgorithm.RING
+        algorithm = CollectiveAlgorithm.HIERARCHICAL
+    elif size_bytes <= tree_threshold(group_size):
+        algorithm = CollectiveAlgorithm.TREE
+    else:
+        algorithm = CollectiveAlgorithm.RING
+    if obs.enabled():
+        obs.count(f"network.select.{algorithm.value}")
+    return algorithm

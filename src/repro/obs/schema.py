@@ -1,0 +1,106 @@
+"""Minimal JSON-Schema-subset validator for checked-in artifact schemas.
+
+The repo cannot add a ``jsonschema`` dependency, so this implements the
+small draft-07 subset the schemas under ``schemas/`` actually use:
+``type`` (including lists of types), ``properties`` / ``required`` /
+``additionalProperties``, ``items``, ``enum``, ``minimum``, ``minItems``
+and ``patternProperties`` (literal ``.*`` only via property fallback).
+Anything else in a schema is rejected loudly rather than silently
+ignored, so a schema edit cannot quietly stop validating.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_SUPPORTED_KEYS = {
+    "$schema", "$id", "title", "description",
+    "type", "properties", "required", "additionalProperties",
+    "items", "enum", "minimum", "minItems",
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """A JSON document failed schema validation (or the schema itself
+    uses an unsupported construct)."""
+
+
+def _check_type(value: Any, expected: str, path: str) -> None:
+    if expected == "number":
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif expected == "integer":
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    else:
+        python_type = _TYPES.get(expected)
+        if python_type is None:
+            raise SchemaError(f"{path}: unsupported schema type {expected!r}")
+        ok = isinstance(value, python_type)
+        if expected != "boolean" and isinstance(value, bool):
+            ok = False
+    if not ok:
+        raise SchemaError(
+            f"{path}: expected {expected}, got {type(value).__name__}")
+
+
+def validate(value: Any, schema: dict[str, Any], path: str = "$") -> None:
+    """Validate ``value`` against ``schema``; raises :class:`SchemaError`
+    naming the offending JSON path on the first violation."""
+    unsupported = set(schema) - _SUPPORTED_KEYS
+    if unsupported:
+        raise SchemaError(
+            f"{path}: schema uses unsupported keywords {sorted(unsupported)}")
+
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        errors = []
+        for candidate in types:
+            try:
+                _check_type(value, candidate, path)
+                break
+            except SchemaError as exc:
+                errors.append(exc)
+        else:
+            raise SchemaError(
+                f"{path}: expected one of {types}, "
+                f"got {type(value).__name__}") from errors[-1]
+
+    if "enum" in schema and value not in schema["enum"]:
+        raise SchemaError(f"{path}: {value!r} not in {schema['enum']!r}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        raise SchemaError(
+            f"{path}: {value!r} below minimum {schema['minimum']!r}")
+
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in value:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+        additional = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            if name in properties:
+                validate(item, properties[name], f"{path}.{name}")
+            elif additional is False:
+                raise SchemaError(f"{path}: unexpected key {name!r}")
+            elif isinstance(additional, dict):
+                validate(item, additional, f"{path}.{name}")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            raise SchemaError(
+                f"{path}: {len(value)} items < minItems "
+                f"{schema['minItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, item in enumerate(value):
+                validate(item, items, f"{path}[{index}]")

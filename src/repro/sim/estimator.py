@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.config.description import InputDescription
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
@@ -49,12 +50,17 @@ from repro.sim.results import (IterationPrediction, SimulationResult,
 class PredictTiming:
     """Phase breakdown of one :meth:`VTrain.predict` call (seconds).
 
-    ``structure_s`` is graph assembly + compilation when the structure
-    cache missed, ``0.0`` on a hit; ``fill_s`` is the slot-broadcast
-    duration refill (hits only). Surfaced by ``repro predict --timing``.
+    ``builder_init_s`` is builder construction — network-model setup
+    (NCCL timing tables) plus per-operator timing resolution — which
+    runs on *every* predict, hit or miss; it used to go unreported, so
+    cold breakdowns didn't add up. ``structure_s`` is graph assembly +
+    compilation when the structure cache missed, ``0.0`` on a hit;
+    ``fill_s`` is the slot-broadcast duration refill (hits only).
+    Surfaced by ``repro predict --timing``.
     """
 
     memory_check_s: float
+    builder_init_s: float
     structure_s: float
     fill_s: float
     replay_s: float
@@ -65,6 +71,28 @@ class PredictTiming:
     def structure_source(self) -> str:
         """Where the replay topology came from."""
         return "cache hit" if self.structure_cache_hit else "built"
+
+    @property
+    def accounted_s(self) -> float:
+        """Sum of the attributed phases.
+
+        Tracks ``total_s`` to within bookkeeping noise on both cold and
+        warm paths now that builder construction is attributed —
+        previously cold calls could leave >30% of ``total_s``
+        unaccounted for.
+        """
+        return (self.memory_check_s + self.builder_init_s
+                + self.structure_s + self.fill_s + self.replay_s)
+
+    def phases(self) -> dict[str, float]:
+        """Ordered phase-name -> seconds mapping for reports."""
+        return {
+            "memory check": self.memory_check_s,
+            "network setup": self.builder_init_s,
+            "structure": self.structure_s,
+            "duration fill": self.fill_s,
+            "replay": self.replay_s,
+        }
 
 
 @dataclass(frozen=True)
@@ -88,6 +116,7 @@ class PreparedPlan:
     structure_cache_hit: bool
     structure_s: float
     fill_s: float
+    builder_init_s: float = 0.0
 
 
 class VTrain:
@@ -159,8 +188,11 @@ class VTrain:
         structural fingerprint — across micro-batch sizes, parallel
         degrees, systems, and VTrain instances alike.
         """
-        builder = GraphBuilder(model, self.system, plan, training,
-                               self.lookup, self.nccl, self.granularity)
+        tick = time.perf_counter()
+        with obs.span("builder_init", granularity=self.granularity.value):
+            builder = GraphBuilder(model, self.system, plan, training,
+                                   self.lookup, self.nccl, self.granularity)
+        builder_init_s = time.perf_counter() - tick
         key = builder.structure_key
         structure = structure_cache_get(key)
         cache_hit = structure is not None
@@ -169,7 +201,8 @@ class VTrain:
         if structure is not None:
             tick = time.perf_counter()
             try:
-                durations = builder.fill_durations(structure)
+                with obs.span("duration_fill", tasks=structure.num_tasks):
+                    durations = builder.fill_durations(structure)
             except SimulationError:
                 # Structural drift the fingerprint failed to capture:
                 # drop the stale entry and rebuild from scratch.
@@ -180,19 +213,25 @@ class VTrain:
                 fill_s = time.perf_counter() - tick
         if structure is None:
             tick = time.perf_counter()
-            structure = builder.compile()
+            with obs.span("structure_build") as tags:
+                structure = builder.compile()
+                tags["tasks"] = structure.num_tasks
             build_s = time.perf_counter() - tick
             structure_cache_put(key, structure)
             durations = structure.duration
         if cache_hit:
             self.structure_cache_hits += 1
+            obs.observe("sim.duration_fill_s", fill_s)
         else:
             self.structure_cache_misses += 1
+            obs.observe("sim.structure_build_s", build_s)
+        obs.observe("sim.builder_init_s", builder_init_s)
         return PreparedPlan(structure=structure, durations=durations,
                             metadata=builder.graph_metadata(),
                             builder=builder,
                             structure_cache_hit=cache_hit,
-                            structure_s=build_s, fill_s=fill_s)
+                            structure_s=build_s, fill_s=fill_s,
+                            builder_init_s=builder_init_s)
 
     # ------------------------------------------------------------------
     # Prediction
@@ -208,27 +247,54 @@ class VTrain:
         """
         self.num_predictions += 1
         started = time.perf_counter()
-        if self.check_memory_feasibility:
-            footprint = check_memory(model, plan, training, self.system,
-                                     zero_stage=self.zero_stage)
-        else:
-            footprint = memory_footprint(model, plan, training,
-                                         zero_stage=self.zero_stage)
-        memory_s = time.perf_counter() - started
-        prepared = self.prepare(model, plan, training)
-        tick = time.perf_counter()
-        result = simulate_retimed(prepared.structure, prepared.durations,
-                                  record_timeline=record_timeline,
-                                  metadata=prepared.metadata)
-        replay_s = time.perf_counter() - tick
+        with obs.span(
+                "predict",
+                plan=f"t{plan.tensor} d{plan.data} p{plan.pipeline}") as span:
+            with obs.span("memory_check"):
+                if self.check_memory_feasibility:
+                    footprint = check_memory(model, plan, training,
+                                             self.system,
+                                             zero_stage=self.zero_stage)
+                else:
+                    footprint = memory_footprint(
+                        model, plan, training, zero_stage=self.zero_stage)
+            memory_s = time.perf_counter() - started
+            prepared = self.prepare(model, plan, training)
+            tick = time.perf_counter()
+            with obs.span("replay", tasks=prepared.structure.num_tasks):
+                result = simulate_retimed(prepared.structure,
+                                          prepared.durations,
+                                          record_timeline=record_timeline,
+                                          metadata=prepared.metadata)
+            replay_s = time.perf_counter() - tick
+            span["structure"] = ("cache hit" if prepared.structure_cache_hit
+                                 else "built")
+        total_s = time.perf_counter() - started
+        obs.observe("sim.replay_s", replay_s)
+        obs.observe("sim.predict_total_s", total_s)
+        if replay_s > 0.0:
+            obs.observe("sim.replay_tasks_per_s",
+                        prepared.structure.num_tasks / replay_s)
         self.last_predict_timing = PredictTiming(
             memory_check_s=memory_s,
+            builder_init_s=prepared.builder_init_s,
             structure_s=prepared.structure_s,
             fill_s=prepared.fill_s,
             replay_s=replay_s,
-            total_s=time.perf_counter() - started,
+            total_s=total_s,
             structure_cache_hit=prepared.structure_cache_hit)
         return self._prediction(model, plan, training, footprint, result)
+
+    @staticmethod
+    def _observe_replay(tasks: int, columns: int, elapsed: float) -> None:
+        """Record replay latency/throughput histograms (gated; a batch
+        sweep counts ``tasks x columns`` replayed tasks)."""
+        if not obs.enabled():
+            return
+        obs.observe("sim.replay_s", elapsed)
+        if elapsed > 0.0:
+            obs.observe("sim.replay_tasks_per_s",
+                        tasks * columns / elapsed)
 
     def _prediction(self, model: ModelConfig, plan: ParallelismConfig,
                     training: TrainingConfig, footprint: MemoryFootprint,
@@ -295,14 +361,24 @@ class VTrain:
         for positions in groups.values():
             if len(positions) == 1:
                 _, _, prepared = entries[positions[0]]
-                results[positions[0]] = simulate_retimed(
-                    prepared.structure, prepared.durations,
-                    metadata=prepared.metadata)
+                tick = time.perf_counter()
+                with obs.span("replay", tasks=prepared.structure.num_tasks):
+                    results[positions[0]] = simulate_retimed(
+                        prepared.structure, prepared.durations,
+                        metadata=prepared.metadata)
+                self._observe_replay(prepared.structure.num_tasks, 1,
+                                     time.perf_counter() - tick)
                 continue
             structure = entries[positions[0]][2].structure
             matrix = np.stack(
                 [entries[p][2].durations for p in positions], axis=1)
-            batch = simulate_retimed_batch(structure, matrix)
+            tick = time.perf_counter()
+            with obs.span("replay_batch", tasks=structure.num_tasks,
+                          columns=len(positions)):
+                batch = simulate_retimed_batch(structure, matrix)
+            self._observe_replay(structure.num_tasks, len(positions),
+                                 time.perf_counter() - tick)
+            obs.observe("sim.batch_columns", len(positions))
             for column, position in enumerate(positions):
                 results[position] = batch.column(
                     column, metadata=entries[position][2].metadata)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import obs
 from repro.config.model import ModelConfig
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
 from repro.config.system import SystemConfig
@@ -185,6 +186,16 @@ class TestbedEmulator:
         """
         if num_samples < 1:
             raise ConfigError("num_samples must be >= 1")
+        with obs.span("testbed.measure", category="testbed",
+                      samples=num_samples):
+            measurements = self._measure_samples(model, plan, training,
+                                                 num_samples)
+        obs.count("testbed.measurements", num_samples)
+        return measurements
+
+    def _measure_samples(self, model: ModelConfig, plan: ParallelismConfig,
+                         training: TrainingConfig, num_samples: int,
+                         ) -> list[MeasuredIteration]:
         prepared = self._vtrain.prepare(model, plan, training)
         session = self._session_key(model, plan, training)
         draws = self._session_draws(model, plan)

@@ -1,13 +1,34 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
-from repro.cli import main
+from repro import obs
+from repro.cli import _preset_description, main
 from repro.config.description import InputDescription
 from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.presets import MT_NLG_530B
 from repro.config.system import single_node
+from repro.obs.export import load_trace
+from repro.obs.schema import validate
+from repro.obs.tracer import ENGINE_PID
+
+SCHEMA_DIR = Path(__file__).parent.parent / "schemas"
+
+
+@pytest.fixture
+def restore_obs():
+    """Commands like ``--trace``/``--metrics`` enable the global obs
+    switch; put it back so later tests see the default state."""
+    was_enabled = obs.enabled()
+    yield
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+    obs.reset()
 
 
 @pytest.fixture
@@ -60,6 +81,48 @@ class TestPredict:
             self, description_file, capsys):
         assert main(["predict", str(description_file)]) == 0
         assert "timing breakdown" not in capsys.readouterr().out
+
+    def test_timing_includes_network_setup_phase(self, description_file,
+                                                 capsys):
+        # A cold predict spends real time constructing the network model
+        # inside GraphBuilder; the breakdown must account for it rather
+        # than leave a gap between the phases and the total.
+        assert main(["predict", str(description_file), "--timing"]) == 0
+        assert "network setup" in capsys.readouterr().out
+
+    def test_predict_needs_description_xor_preset(self, description_file,
+                                                  capsys):
+        assert main(["predict"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["predict", str(description_file),
+                     "--preset", "megatron-1.7b"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_predict_preset_writes_schema_valid_trace(self, tmp_path, capsys,
+                                                      restore_obs):
+        trace_path = tmp_path / "trace.json"
+        assert main(["predict", "--preset", "megatron-1.7b",
+                     "--granularity", "stage",
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "iteration time" in out
+        assert "trace" in out
+        payload = load_trace(trace_path)
+        schema_path = SCHEMA_DIR / "chrome_trace.schema.json"
+        validate(payload, json.loads(schema_path.read_text()))
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert ENGINE_PID in pids  # engine spans present
+        assert any(pid >= 1000 for pid in pids)  # simulated devices too
+
+    def test_preset_alias_resolves_to_published_mtnlg_plan(self):
+        description = _preset_description("mtnlg")
+        assert description.model is MT_NLG_530B
+        plan = description.plan
+        assert (plan.tensor, plan.data, plan.pipeline) == (8, 8, 35)
+
+    def test_unknown_preset_fails_cleanly(self, capsys):
+        assert main(["predict", "--preset", "not-a-model"]) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_invalid_description_fails_cleanly(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
@@ -117,6 +180,37 @@ class TestDse:
     def test_dse_rejects_bad_network_spec(self, capsys):
         assert main(self.ARGS + ["--network", "torus"]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_dse_reports_structure_cache_line(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "structure cache" in out
+        assert "evictions" in out
+
+    def test_dse_metrics_round_trips_through_stats(self, tmp_path, capsys,
+                                                   restore_obs):
+        snapshot = tmp_path / "metrics.json"
+        assert main(self.ARGS + ["--metrics", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "observability snapshot" in out
+        assert "saved metrics" in out
+        assert "hit rates" in out
+        assert snapshot.exists()
+        assert main(["stats", str(snapshot)]) == 0
+        stats_out = capsys.readouterr().out
+        assert f"snapshot         : {snapshot}" in stats_out
+        assert "counters" in stats_out
+        # the sweep replays plans, so throughput quantiles are populated
+        assert "sim.replay_tasks_per_s" in stats_out
+        assert "p50=" in stats_out and "p99=" in stats_out
+
+
+class TestStats:
+    def test_stats_missing_snapshot_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--metrics" in err
 
 
 class TestExampleAndPresets:

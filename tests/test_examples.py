@@ -66,3 +66,20 @@ class TestCaseStudyExamples:
         out = capsys.readouterr().out
         assert "ElasticFlow" in out
         assert "deadline ratio" in out
+
+    def test_trace_iteration(self, capsys, monkeypatch, tmp_path):
+        from repro import obs
+        was_enabled = obs.enabled()
+        trace_path = tmp_path / "trace.json"
+        monkeypatch.setattr(sys, "argv",
+                            ["trace_iteration.py", str(trace_path)])
+        try:
+            load_example("trace_iteration").main()
+        finally:
+            if not was_enabled:
+                obs.disable()
+            obs.reset()
+        out = capsys.readouterr().out
+        assert "Predicted iteration time" in out
+        assert "Events exported" in out
+        assert trace_path.exists()

@@ -11,6 +11,7 @@ from repro.sim.analysis import (critical_device, device_profiles,
                                 _interval_overlap, _merge_intervals)
 from repro.sim.engine import simulate
 from repro.sim.estimator import VTrain
+from repro.sim.results import SimulationResult, TimelineEvent
 
 
 def predict_with_timeline(model, plan, training):
@@ -115,6 +116,61 @@ class TestExposure:
         plan = ParallelismConfig(tensor=2, data=1, pipeline=4)
         result = predict_with_timeline(tiny_model, plan, training)
         assert exposed_dp_fraction(result) == 0.0
+
+
+class TestEdgeCases:
+    """Degenerate inputs the analysis helpers must handle exactly."""
+
+    def test_merge_zero_duration_intervals(self):
+        assert _merge_intervals([(1.0, 1.0), (1.0, 2.0)]) == [(1.0, 2.0)]
+        # a lone zero-duration interval survives as itself
+        assert _merge_intervals([(3.0, 3.0)]) == [(3.0, 3.0)]
+
+    def test_merge_touching_intervals(self):
+        assert _merge_intervals([(0.0, 1.0), (1.0, 2.0)]) == [(0.0, 2.0)]
+
+    def test_merge_contained_interval(self):
+        assert _merge_intervals([(0.0, 5.0), (1.0, 2.0)]) == [(0.0, 5.0)]
+
+    def test_empty_recorded_timeline(self):
+        result = SimulationResult(iteration_time=0.0, num_tasks=0,
+                                  device_timeline={}, device_busy={},
+                                  events=[])
+        assert device_profiles(result) == {}
+        assert pipeline_bubble_time(result) == 0.0
+        assert exposed_dp_fraction(result) == 0.0
+        assert stage_utilization_profile(result) == []
+
+    def test_critical_device_requires_devices(self):
+        result = SimulationResult(iteration_time=0.0, num_tasks=0,
+                                  device_timeline={}, device_busy={},
+                                  events=[])
+        with pytest.raises(SimulationError, match="no devices"):
+            critical_device(result)
+
+    def test_zero_duration_events_profile(self):
+        events = [
+            TimelineEvent(task_id=0, device=0, stream="compute",
+                          kind="compute", label="f0", start=0.0, finish=0.0),
+            TimelineEvent(task_id=1, device=0, stream="compute",
+                          kind="compute", label="f1", start=0.0, finish=2.0),
+        ]
+        result = SimulationResult(iteration_time=2.0, num_tasks=2,
+                                  device_timeline={0: 2.0},
+                                  device_busy={0: {"compute": 2.0}},
+                                  events=events)
+        profile = device_profiles(result)[0]
+        assert profile.compute_busy == pytest.approx(2.0)
+        assert profile.idle == pytest.approx(0.0)
+        assert profile.compute_utilization == pytest.approx(1.0)
+
+    def test_zero_iteration_time_summary_has_no_division_error(self):
+        result = SimulationResult(iteration_time=0.0, num_tasks=0,
+                                  device_timeline={0: 0.0}, device_busy={},
+                                  events=[])
+        summary = summarize(result)
+        assert summary["avg_bubble_fraction"] == 0.0
+        assert summary["critical_device"] == 0.0
 
 
 class TestSummary:
