@@ -7,6 +7,8 @@ Usage::
 
 Each file is matched to a schema by shape — a ``traceEvents`` key means
 a Chrome trace (``schemas/chrome_trace.schema.json``); a
+``benchmark: service_throughput`` marker means the serving-tier store
+(``schemas/bench_service_throughput.schema.json``); a
 ``schema``/``benchmarks`` pair means the perf-trajectory store
 (``schemas/bench_sim_speed.schema.json``) — and validated with
 :mod:`repro.obs.schema`. Exits non-zero on the first invalid file, so
@@ -33,6 +35,8 @@ def schema_for(payload: object) -> Path:
     if isinstance(payload, dict):
         if "traceEvents" in payload:
             return SCHEMA_DIR / "chrome_trace.schema.json"
+        if payload.get("benchmark") == "service_throughput":
+            return SCHEMA_DIR / "bench_service_throughput.schema.json"
         if "schema" in payload and "benchmarks" in payload:
             return SCHEMA_DIR / "bench_sim_speed.schema.json"
     raise SchemaError("payload matches no known artifact shape "

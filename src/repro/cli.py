@@ -14,6 +14,13 @@ Commands:
   prints and saves the observability registry snapshot.
 * ``stats`` — pretty-print a saved metrics snapshot (cache hit rates,
   replay-throughput histograms with p50/p99).
+* ``serve`` — run the long-lived prediction daemon: one resident
+  process owning the warm structure cache and a persistent prediction
+  cache, serving concurrent predict/DSE requests over TCP
+  (``--port N``) or stdin/stdout (``--stdio``) with in-flight
+  deduplication and micro-batching (see :mod:`repro.serve`).
+  ``predict --connect HOST:PORT`` routes a prediction through a
+  running daemon instead of paying cold start.
 * ``example <name>`` — write a ready-to-edit description file for a
   preset model (``gpt3-175b``, ``mt-nlg-530b``, ...).
 * ``presets`` — list the bundled model presets.
@@ -33,6 +40,7 @@ from repro.config.presets import (GPT3_TRAINING, MODEL_ZOO,
                                   MT_NLG_530B, MT_NLG_BASELINE_PLANS,
                                   MT_NLG_TRAINING)
 from repro.config.system import NetworkSpec, multi_node
+from repro.cost.pricing import DEFAULT_PRICING, SECONDS_PER_DAY
 from repro.dse.cache import PredictionCache
 from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.report import save_csv, to_markdown
@@ -85,6 +93,40 @@ def build_parser() -> argparse.ArgumentParser:
                               "file holding the simulated device timeline "
                               "and the engine's own spans (view in "
                               "chrome://tracing or ui.perfetto.dev)")
+    predict.add_argument("--connect", metavar="HOST:PORT",
+                         help="serve the prediction from a running "
+                              "`repro serve` daemon instead of "
+                              "simulating in-process (warm caches, no "
+                              "cold start); incompatible with --timing "
+                              "and --trace")
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived prediction daemon (warm shared "
+                      "caches, in-flight dedup, request micro-batching)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7915,
+                       help="TCP port to listen on; 0 picks a free port "
+                            "(default: 7915)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve newline-delimited JSON-RPC on "
+                            "stdin/stdout instead of TCP (subprocess "
+                            "embedding; diagnostics go to stderr)")
+    serve.add_argument("--cache", type=Path, metavar="PATH",
+                       help="persistent prediction cache (JSON): loaded "
+                            "at startup if it exists, saved on shutdown, "
+                            "shared by every request")
+    serve.add_argument("--granularity", default="operator",
+                       choices=[g.value for g in Granularity],
+                       help="default graph granularity for requests that "
+                            "do not name one (default: operator)")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="bounded delay of the request micro-batcher "
+                            "in milliseconds; concurrent retimes "
+                            "arriving within one window replay as a "
+                            "single vectorized sweep (default: 2.0)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="requests per batcher flush (default: 64)")
 
     dse = commands.add_parser(
         "dse", help="sweep the 3D-parallelism design space for a preset "
@@ -227,6 +269,13 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     else:
         description = InputDescription.load(args.description)
     description.validate()
+    if args.connect:
+        if args.timing or args.trace:
+            raise ReproError(
+                "--timing/--trace run in-process; they are not available "
+                "with --connect (the daemon's `stats` method reports "
+                "serving latency)")
+        return _predict_connected(args, description)
     if args.trace:
         obs.enable()
     vtrain = VTrain(description.system,
@@ -270,6 +319,83 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         print(f"training time    : {estimate.total_days:.2f} days")
         print(f"cost             : ${estimate.dollars_total:,.0f} "
               f"(${estimate.dollars_per_hour:,.0f}/hour)")
+    return 0
+
+
+def _parse_endpoint(spec: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` endpoint spec."""
+    host, separator, port = spec.rpartition(":")
+    if not separator or not host or not port.isdigit():
+        raise ReproError(f"--connect expects HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def _predict_connected(args: argparse.Namespace,
+                       description: InputDescription) -> int:
+    """``predict --connect``: serve the request from a running daemon."""
+    from repro.serve import ServeClient
+
+    host, port = _parse_endpoint(args.connect)
+    with ServeClient.connect(host, port) as client:
+        payload = client.predict(description=description.to_dict(),
+                                 granularity=args.granularity,
+                                 zero_stage=None)
+    print(f"model            : {description.model.describe()}")
+    print(f"system           : {description.system.describe()}")
+    print(f"plan             : {description.plan.describe()}")
+    print(f"served by        : {host}:{port} "
+          f"({payload['served']['source']})")
+    print(f"iteration time   : {payload['iteration_time']:.4f} s")
+    print(f"utilization      : "
+          f"{100 * payload['gpu_compute_utilization']:.2f} %")
+    print(f"memory per GPU   : {payload['memory_per_gpu'] / GIB:.2f} GiB")
+    if description.training.total_tokens:
+        iterations = description.training.num_iterations(description.model)
+        total_seconds = payload["iteration_time"] * iterations
+        num_gpus = description.plan.total_gpus
+        print(f"iterations       : {iterations:,}")
+        print(f"training time    : "
+              f"{total_seconds / SECONDS_PER_DAY:.2f} days")
+        print(f"cost             : "
+              f"${DEFAULT_PRICING.cost(num_gpus, total_seconds):,.0f} "
+              f"(${DEFAULT_PRICING.dollars_per_hour(num_gpus):,.0f}/hour)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the prediction daemon until interrupted or shut down."""
+    from repro.serve import PredictionService, ServeDaemon, serve_stdio
+
+    obs.enable()  # the serving tier exists to report latency metrics
+    cache = (PredictionCache.load(args.cache)
+             if args.cache and args.cache.exists() else PredictionCache())
+    service = PredictionService(
+        cache=cache,
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_batch=args.max_batch,
+        default_granularity=Granularity(args.granularity))
+    try:
+        if args.stdio:
+            print("repro serve: stdio session open", file=sys.stderr)
+            serve_stdio(service, sys.stdin.buffer, sys.stdout.buffer)
+        else:
+            daemon = ServeDaemon(service, host=args.host, port=args.port)
+            host, port = daemon.address
+            print(f"repro serve: listening on {host}:{port} "
+                  f"(cache: {len(cache)} entries)", file=sys.stderr,
+                  flush=True)
+            try:
+                daemon.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                daemon.server_close()
+    finally:
+        service.close()
+        if args.cache:
+            cache.save(args.cache)
+            print(f"repro serve: saved {len(cache)} cache entries to "
+                  f"{args.cache}", file=sys.stderr)
     return 0
 
 
@@ -385,8 +511,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {"predict": _cmd_predict, "dse": _cmd_dse,
-                "stats": _cmd_stats, "example": _cmd_example,
-                "presets": _cmd_presets}
+                "stats": _cmd_stats, "serve": _cmd_serve,
+                "example": _cmd_example, "presets": _cmd_presets}
     try:
         return handlers[args.command](args)
     except (ReproError, FileNotFoundError) as exc:

@@ -22,6 +22,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -84,6 +85,11 @@ def fingerprint(model: ModelConfig, plan: ParallelismConfig,
 class PredictionCache:
     """In-memory map of prediction fingerprints to design points.
 
+    Safe for concurrent use: the `repro serve` daemon shares one
+    instance across handler threads, so lookups, stores, merges, and
+    the hit/miss counters are guarded by an internal lock (uncontended
+    single-threaded use pays one acquire per call).
+
     Attributes:
         hits: Number of :meth:`get` calls answered from the cache.
         misses: Number of :meth:`get` calls that found nothing.
@@ -91,14 +97,17 @@ class PredictionCache:
 
     def __init__(self) -> None:
         self._entries: dict[str, dict[str, Any]] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -107,35 +116,40 @@ class PredictionCache:
         """The cached point for ``key``, counting a hit or a miss (both
         on this instance and on the ``dse.prediction_cache.*`` registry
         aggregates)."""
-        payload = self._entries.get(key)
-        if payload is None:
-            self.misses += 1
-            _AGG_MISSES.increment()
-            return None
-        self.hits += 1
-        _AGG_HITS.increment()
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                _AGG_MISSES.increment()
+                return None
+            self.hits += 1
+            _AGG_HITS.increment()
         return DesignPoint.from_dict(payload)
 
     def put(self, key: str, point: DesignPoint) -> None:
         """Store ``point`` under ``key`` (overwrites silently)."""
-        self._entries[key] = point.to_dict()
+        payload = point.to_dict()
+        with self._lock:
+            self._entries[key] = payload
 
     @property
     def stats(self) -> dict[str, int]:
         """Hit/miss/size counters for logs and tests."""
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._entries)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries)}
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready payload (entries sorted for stable diffs)."""
-        return {
-            "version": CACHE_FORMAT_VERSION,
-            "entries": {key: self._entries[key]
-                        for key in sorted(self._entries)},
-        }
+        with self._lock:
+            return {
+                "version": CACHE_FORMAT_VERSION,
+                "entries": {key: self._entries[key]
+                            for key in sorted(self._entries)},
+            }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "PredictionCache":
@@ -192,9 +206,13 @@ class PredictionCache:
 
     def merge(self, other: "PredictionCache") -> int:
         """Absorb another cache's entries; returns how many were new."""
+        with other._lock:
+            incoming = {key: dict(entry)
+                        for key, entry in other._entries.items()}
         added = 0
-        for key, entry in other._entries.items():
-            if key not in self._entries:
-                added += 1
-            self._entries[key] = dict(entry)
+        with self._lock:
+            for key, entry in incoming.items():
+                if key not in self._entries:
+                    added += 1
+                self._entries[key] = entry
         return added

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import enum
 import os
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -84,8 +85,16 @@ class Granularity(enum.Enum):
 # plan — share one compiled topology and only refill the duration
 # vector. The cache is per-process by design (ParallelExplorer workers
 # each warm their own), LRU-evicted against a total-task budget.
+#
+# All cache operations hold _STRUCTURE_CACHE_LOCK: the `repro serve`
+# daemon retimes one shared cache from many handler threads, and the
+# OrderedDict mutations (move_to_end on hit, popitem on eviction) are
+# not atomic. The lock is uncontended in single-threaded use — one
+# acquire per get/put, no allocation — so the warm fast path stays
+# within the committed perf baselines.
 
 _STRUCTURE_CACHE: "OrderedDict[str, GraphStructure]" = OrderedDict()
+_STRUCTURE_CACHE_LOCK = threading.RLock()
 
 # Hit/miss/eviction accounting lives on the process-wide obs registry
 # (single source of truth for `repro stats`); structure_cache_stats()
@@ -111,48 +120,53 @@ def _structure_cache_budget() -> int:
 
 def structure_cache_get(key: str) -> GraphStructure | None:
     """Cached structure for ``key`` (counts a hit or a miss)."""
-    structure = _STRUCTURE_CACHE.get(key)
-    if structure is None:
-        _CACHE_MISSES.increment()
-        return None
-    _STRUCTURE_CACHE.move_to_end(key)
-    _CACHE_HITS.increment()
-    return structure
+    with _STRUCTURE_CACHE_LOCK:
+        structure = _STRUCTURE_CACHE.get(key)
+        if structure is None:
+            _CACHE_MISSES.increment()
+            return None
+        _STRUCTURE_CACHE.move_to_end(key)
+        _CACHE_HITS.increment()
+        return structure
 
 
 def structure_cache_put(key: str, structure: GraphStructure) -> None:
     """Insert a structure, LRU-evicting down to the task budget."""
-    _STRUCTURE_CACHE[key] = structure
-    _STRUCTURE_CACHE.move_to_end(key)
-    budget = _structure_cache_budget()
-    total = sum(entry.num_tasks for entry in _STRUCTURE_CACHE.values())
-    while total > budget and len(_STRUCTURE_CACHE) > 1:
-        _, evicted = _STRUCTURE_CACHE.popitem(last=False)
-        total -= evicted.num_tasks
-        _CACHE_EVICTIONS.increment()
+    with _STRUCTURE_CACHE_LOCK:
+        _STRUCTURE_CACHE[key] = structure
+        _STRUCTURE_CACHE.move_to_end(key)
+        budget = _structure_cache_budget()
+        total = sum(entry.num_tasks for entry in _STRUCTURE_CACHE.values())
+        while total > budget and len(_STRUCTURE_CACHE) > 1:
+            _, evicted = _STRUCTURE_CACHE.popitem(last=False)
+            total -= evicted.num_tasks
+            _CACHE_EVICTIONS.increment()
 
 
 def structure_cache_evict(key: str) -> None:
     """Drop one entry (defensive fallback when a refill mismatches)."""
-    _STRUCTURE_CACHE.pop(key, None)
+    with _STRUCTURE_CACHE_LOCK:
+        _STRUCTURE_CACHE.pop(key, None)
 
 
 def structure_cache_stats() -> dict[str, int]:
     """Hit/miss/eviction/size counters for this process (thin view over
     the ``graph.structure_cache.*`` obs registry counters)."""
-    return {"hits": _CACHE_HITS.value,
-            "misses": _CACHE_MISSES.value,
-            "evictions": _CACHE_EVICTIONS.value,
-            "entries": len(_STRUCTURE_CACHE),
-            "cached_tasks": sum(entry.num_tasks
-                                for entry in _STRUCTURE_CACHE.values())}
+    with _STRUCTURE_CACHE_LOCK:
+        return {"hits": _CACHE_HITS.value,
+                "misses": _CACHE_MISSES.value,
+                "evictions": _CACHE_EVICTIONS.value,
+                "entries": len(_STRUCTURE_CACHE),
+                "cached_tasks": sum(entry.num_tasks
+                                    for entry in _STRUCTURE_CACHE.values())}
 
 
 def clear_structure_cache() -> None:
     """Empty the cache and reset its counters (tests, benchmarks)."""
-    _STRUCTURE_CACHE.clear()
-    for counter in (_CACHE_HITS, _CACHE_MISSES, _CACHE_EVICTIONS):
-        counter.reset()
+    with _STRUCTURE_CACHE_LOCK:
+        _STRUCTURE_CACHE.clear()
+        for counter in (_CACHE_HITS, _CACHE_MISSES, _CACHE_EVICTIONS):
+            counter.reset()
 
 
 def structure_fingerprint(model: ModelConfig, plan: ParallelismConfig,

@@ -1,0 +1,577 @@
+"""The resident prediction service behind ``repro serve``.
+
+One :class:`PredictionService` owns everything worth keeping warm
+between requests — a pool of resident :class:`~repro.sim.estimator.
+VTrain` instances (one per distinct system/granularity/ZeRO-stage, so
+profiling tables and NCCL models persist), the process-wide structure
+cache they share, and a persistent
+:class:`~repro.dse.cache.PredictionCache` — and serves concurrent
+``predict`` / ``predict_batch`` / ``dse`` requests from any number of
+transport threads. Three mechanisms make the shared-warm-state story
+fast under concurrency:
+
+* **In-flight deduplication.** Requests are keyed by the same complete
+  fingerprint the prediction cache uses; while one is being computed,
+  identical arrivals coalesce onto the leader's computation and all
+  waiters receive the same result. N identical concurrent predicts run
+  exactly one simulation (``serve.dedup.coalesced`` counts followers).
+
+* **Micro-batching.** Admitted jobs queue into a bounded-delay batcher;
+  each flush groups jobs by resident simulator and model/recipe and
+  replays them through :meth:`VTrain.predict_prepared`, which stacks
+  runs sharing one cached structure into a single ``(tasks x N)``
+  :func:`~repro.sim.engine.simulate_retimed_batch` sweep instead of N
+  scalar replays. The flush delay is bounded by ``batch_window_s``
+  (default 2 ms) so single requests stay interactive.
+
+* **Result caching.** Every computed point lands in the prediction
+  cache, so repeats — including requests arriving *after* their
+  duplicate finished — skip simulation entirely.
+
+Served predictions are bit-identical to direct :meth:`VTrain.predict`
+calls: the batched replay engine is column-for-column exact, and the
+response is assembled from the same cached representation on every path
+(computed, coalesced, or cache hit).
+
+The service is transport-agnostic: :meth:`dispatch` maps one parsed
+JSON-RPC request to a response, emitting streamed notifications through
+a callback. ``repro.serve.daemon`` wires it to TCP sockets and stdio.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import obs
+from repro.config.description import InputDescription
+from repro.config.model import ModelConfig
+from repro.config.parallelism import TrainingConfig
+from repro.config.presets import MODEL_ZOO
+from repro.config.system import NetworkSpec
+from repro.dse.cache import PredictionCache, fingerprint
+from repro.dse.explorer import DesignPoint, DesignSpaceExplorer
+from repro.dse.space import SearchSpace
+from repro.errors import ConfigError, InfeasibleConfigError, ReproError
+from repro.graph.builder import Granularity, structure_cache_stats
+from repro.serve import protocol
+from repro.sim.estimator import VTrain
+
+GIB = float(1 << 30)
+
+#: Default bounded delay the batcher waits after the first admission of
+#: a flush, letting a burst of concurrent requests coalesce into one
+#: vectorized sweep. Small against even a warm predict (~ms), large
+#: against thread-scheduling jitter.
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+#: Upper bound on jobs per batch flush (transient duration-matrix
+#: memory; matches the DSE explorers' sweep cap).
+DEFAULT_MAX_BATCH = 64
+
+Notify = Callable[[dict[str, Any]], None]
+
+
+def _preset_description(preset: str) -> InputDescription:
+    """Resolve a preset key the same way the CLI does (import deferred:
+    cli imports serve for the ``--connect`` path)."""
+    from repro.cli import _preset_description as cli_preset
+    return cli_preset(preset)
+
+
+@dataclass
+class _Job:
+    """One admitted prediction: parsed inputs plus its completion latch.
+
+    The batcher thread fills exactly one of ``point`` (a cacheable
+    design point — possibly infeasible) or ``error`` (an unexpected
+    failure), then fires ``done``; the leader *and* every coalesced
+    follower wait on the same latch and read the same fields.
+    """
+
+    description: InputDescription
+    granularity: Granularity
+    zero_stage: int
+    key: str
+    done: threading.Event = field(default_factory=threading.Event)
+    point: DesignPoint | None = None
+    error: BaseException | None = None
+
+
+class PredictionService:
+    """Long-lived, thread-safe prediction engine with warm shared state.
+
+    Args:
+        cache: Persistent prediction cache (a fresh empty one when
+            omitted). The caller owns persistence — ``repro serve``
+            loads/saves it around the daemon's lifetime.
+        batch_window_s: Bounded delay of one batcher flush; ``0``
+            flushes as soon as the batcher thread wakes.
+        max_batch: Jobs per flush.
+        default_granularity: Granularity for requests that do not name
+            one.
+    """
+
+    def __init__(self, *, cache: PredictionCache | None = None,
+                 batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 default_granularity: Granularity = Granularity.OPERATOR,
+                 ) -> None:
+        self.cache = cache if cache is not None else PredictionCache()
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.default_granularity = default_granularity
+        self.started_at = time.monotonic()
+
+        self._vtrains: dict[str, VTrain] = {}
+        self._vtrain_lock = threading.Lock()
+        self._inflight: dict[str, _Job] = {}
+        self._inflight_lock = threading.Lock()
+
+        self._queue: deque[_Job] = deque()
+        self._wake = threading.Condition()
+        self._closed = False
+        self._batcher = threading.Thread(target=self._batch_loop,
+                                         name="repro-serve-batcher",
+                                         daemon=True)
+        self._batcher.start()
+
+        # Serving metrics are always-on (the daemon exists to report
+        # them), so the service observes its histograms directly
+        # instead of going through the gated obs.observe() helper.
+        m = obs.metrics
+        self._requests = m.counter("serve.requests")
+        self._request_errors = m.counter("serve.requests.errors")
+        self._predicts = m.counter("serve.requests.predict")
+        self._dses = m.counter("serve.requests.dse")
+        self._dedup_leaders = m.counter("serve.dedup.leaders")
+        self._dedup_coalesced = m.counter("serve.dedup.coalesced")
+        self._cache_served = m.counter("serve.cache.served")
+        self._batch_flushes = m.counter("serve.batch.flushes")
+        self._batch_jobs = m.counter("serve.batch.jobs")
+        self._request_latency = m.histogram("serve.request_s")
+        self._predict_latency = m.histogram("serve.predict_s")
+        self._batch_size = m.histogram("serve.batch.size")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the batcher after draining queued jobs."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        self._batcher.join(timeout=10.0)
+
+    # ------------------------------------------------------------------
+    # Request parsing
+    # ------------------------------------------------------------------
+    def _parse_predict(self, params: dict[str, Any]) -> tuple[
+            InputDescription, Granularity, int]:
+        if ("description" in params) == ("preset" in params):
+            raise ConfigError(
+                "predict needs exactly one of 'description' or 'preset'")
+        if "preset" in params:
+            description = _preset_description(str(params["preset"]))
+        else:
+            payload = params["description"]
+            if not isinstance(payload, dict):
+                raise ConfigError("'description' must be an object")
+            description = InputDescription.from_dict(payload)
+        try:
+            granularity = Granularity(
+                params.get("granularity", self.default_granularity.value))
+        except ValueError as exc:
+            raise ConfigError(f"unknown granularity: {exc}") from None
+        zero_stage = params.get("zero_stage", 1)
+        if zero_stage not in (0, 1, 2, 3):
+            raise ConfigError("zero_stage must be 0..3")
+        return description, granularity, int(zero_stage)
+
+    def _vtrain_for(self, description: InputDescription,
+                    granularity: Granularity, zero_stage: int) -> VTrain:
+        """The resident simulator for one system/granularity/stage."""
+        key = json.dumps({"system": description.system.to_dict(),
+                          "granularity": granularity.value,
+                          "zero_stage": zero_stage}, sort_keys=True)
+        with self._vtrain_lock:
+            vtrain = self._vtrains.get(key)
+            if vtrain is None:
+                vtrain = VTrain(description.system, granularity=granularity,
+                                zero_stage=zero_stage)
+                self._vtrains[key] = vtrain
+            return vtrain
+
+    # ------------------------------------------------------------------
+    # Predict: dedup + batch admission
+    # ------------------------------------------------------------------
+    def predict(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Serve one prediction (blocking; safe from any thread)."""
+        description, granularity, zero_stage = self._parse_predict(params)
+        self._predicts.increment()
+        started = time.perf_counter()
+        point, job, source = self._admit(description, granularity,
+                                         zero_stage)
+        if job is not None:
+            job.done.wait()
+            if job.error is not None:
+                raise job.error
+            point = job.point
+        result = self._result_from_point(description, point, source)
+        self._predict_latency.observe(time.perf_counter() - started)
+        return result
+
+    def _admit(self, description: InputDescription,
+               granularity: Granularity, zero_stage: int,
+               ) -> tuple[DesignPoint | None, _Job | None, str]:
+        """Route one prediction to the cache, an in-flight job, or a
+        fresh job; returns ``(cached_point, job_to_wait_on, source)``
+        — exactly one of the first two is non-``None``."""
+        key = fingerprint(description.model, description.plan,
+                          description.training, description.system,
+                          granularity, zero_stage=zero_stage)
+        with self._inflight_lock:
+            point = self.cache.get(key)
+            if point is not None:
+                self._cache_served.increment()
+                return point, None, "cache"
+            job = self._inflight.get(key)
+            if job is not None:
+                self._dedup_coalesced.increment()
+                return None, job, "coalesced"
+            job = _Job(description=description, granularity=granularity,
+                       zero_stage=zero_stage, key=key)
+            self._inflight[key] = job
+            self._dedup_leaders.increment()
+        with self._wake:
+            if self._closed:
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+                raise ReproError("service is shutting down")
+            self._queue.append(job)
+            self._wake.notify()
+        return None, job, "computed"
+
+    def _result_from_point(self, description: InputDescription,
+                           point: DesignPoint, source: str,
+                           ) -> dict[str, Any]:
+        """Assemble the predict response from a cached design point.
+
+        Every serving path (fresh compute, coalesced wait, cache hit)
+        goes through this one function, so identical requests receive
+        identical payloads no matter how they were served. Infeasible
+        points raise exactly like a direct :meth:`VTrain.predict`.
+        """
+        if not point.feasible:
+            raise InfeasibleConfigError(point.infeasible_reason)
+        model = description.model
+        training = description.training
+        tokens = training.tokens_per_iteration(model)
+        return {
+            "iteration_time": point.iteration_time,
+            "gpu_compute_utilization": point.utilization,
+            "memory_per_gpu": point.memory_gib * GIB,
+            "tokens_per_iteration": tokens,
+            "model_flops": model.model_flops_per_iteration(tokens),
+            "num_gpus": point.plan.total_gpus,
+            "served": {"source": source},
+        }
+
+    # ------------------------------------------------------------------
+    # The batcher
+    # ------------------------------------------------------------------
+    def _batch_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._closed:
+                    self._wake.wait()
+                if not self._queue and self._closed:
+                    return
+            # Bounded delay: let the burst that woke us accumulate.
+            if self.batch_window_s > 0.0:
+                time.sleep(self.batch_window_s)
+            with self._wake:
+                jobs = [self._queue.popleft()
+                        for _ in range(min(len(self._queue),
+                                           self.max_batch))]
+            if jobs:
+                self._execute(jobs)
+
+    def _execute(self, jobs: list[_Job]) -> None:
+        """Run one flush: group, replay (batched), publish, release."""
+        self._batch_flushes.increment()
+        self._batch_jobs.increment(len(jobs))
+        self._batch_size.observe(len(jobs))
+        groups: dict[str, list[_Job]] = {}
+        for job in jobs:
+            group_key = json.dumps(
+                {"model": job.description.model.to_dict(),
+                 "training": job.description.training.to_dict(),
+                 "system": job.description.system.to_dict(),
+                 "granularity": job.granularity.value,
+                 "zero_stage": job.zero_stage}, sort_keys=True)
+            groups.setdefault(group_key, []).append(job)
+        for members in groups.values():
+            self._execute_group(members)
+
+    def _execute_group(self, jobs: list[_Job]) -> None:
+        """Predict one (model, training, system, granularity) group.
+
+        Plans inside a group that share a cached structure replay in a
+        single vectorized sweep via :meth:`VTrain.predict_prepared`.
+        Whatever happens, every job's latch fires.
+        """
+        model = jobs[0].description.model
+        training = jobs[0].description.training
+        try:
+            vtrain = self._vtrain_for(jobs[0].description,
+                                      jobs[0].granularity,
+                                      jobs[0].zero_stage)
+            survivors: list[_Job] = []
+            entries = []
+            for job in jobs:
+                try:
+                    job.description.validate()
+                    footprint, prepared = vtrain.prepare_checked(
+                        model, job.description.plan, training)
+                except (InfeasibleConfigError, ConfigError) as exc:
+                    job.point = DesignPoint(plan=job.description.plan,
+                                            feasible=False,
+                                            infeasible_reason=str(exc))
+                    continue
+                survivors.append(job)
+                entries.append((job.description.plan, footprint, prepared))
+            if survivors:
+                predictions = vtrain.predict_prepared(model, training,
+                                                      entries)
+                for job, prediction in zip(survivors, predictions):
+                    job.point = DesignPoint(
+                        plan=job.description.plan, feasible=True,
+                        iteration_time=prediction.iteration_time,
+                        utilization=prediction.gpu_compute_utilization,
+                        memory_gib=prediction.memory_per_gpu / GIB)
+        except BaseException as exc:  # noqa: BLE001 - published to waiters
+            for job in jobs:
+                if job.point is None:
+                    job.error = exc
+        finally:
+            for job in jobs:
+                if job.point is not None:
+                    self.cache.put(job.key, job.point)
+                with self._inflight_lock:
+                    self._inflight.pop(job.key, None)
+                job.done.set()
+
+    # ------------------------------------------------------------------
+    # predict_batch
+    # ------------------------------------------------------------------
+    def predict_batch(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Serve several predictions through one admission wave.
+
+        Each entry of ``params['requests']`` is an independent predict
+        params object; the response carries one row per entry, either
+        ``{"result": ...}`` or ``{"error": {...}}``, in request order
+        (one infeasible plan cannot fail its neighbours).
+        """
+        requests = params.get("requests")
+        if not isinstance(requests, list):
+            raise ConfigError("predict_batch needs a 'requests' array")
+        parsed = [self._parse_predict(entry) for entry in requests]
+        admissions = [self._admit(*inputs) for inputs in parsed]
+        rows: list[dict[str, Any]] = []
+        for (description, _, _), (point, job, source) in zip(parsed,
+                                                             admissions):
+            try:
+                if job is not None:
+                    job.done.wait()
+                    if job.error is not None:
+                        raise job.error
+                    point = job.point
+                rows.append({"result": self._result_from_point(
+                    description, point, source)})
+            except (InfeasibleConfigError, ConfigError) as exc:
+                rows.append({"error": {"code": protocol.INFEASIBLE,
+                                       "message": str(exc)}})
+        return {"results": rows}
+
+    # ------------------------------------------------------------------
+    # DSE
+    # ------------------------------------------------------------------
+    def dse(self, params: dict[str, Any],
+            notify: Notify | None = None) -> dict[str, Any]:
+        """Run a design-space sweep, streaming progress notifications.
+
+        Long sweeps emit ``dse.progress`` notifications (done/total,
+        throttled to ~1% steps) through ``notify`` before the final
+        response, so clients render progress without polling. The sweep
+        shares the daemon's prediction cache: re-submitted or
+        overlapping sweeps skip already-predicted plans.
+        """
+        self._dses.increment()
+        model_key = params.get("model")
+        if not isinstance(model_key, str):
+            raise ConfigError("dse needs a 'model' preset key")
+        model = self._dse_model(model_key)
+        num_gpus = params.get("num_gpus")
+        max_gpus = params.get("max_gpus")
+        if (num_gpus is None) == (max_gpus is None):
+            raise ConfigError(
+                "dse needs exactly one of 'num_gpus' or 'max_gpus'")
+        network = str(params.get("network", "flat"))
+        NetworkSpec.parse(network)
+        try:
+            granularity = Granularity(params.get("granularity", "stage"))
+        except ValueError as exc:
+            raise ConfigError(f"unknown granularity: {exc}") from None
+        training = TrainingConfig(
+            global_batch_size=int(params.get("global_batch", 64)),
+            total_tokens=int(params.get("total_tokens", 0)))
+        space = SearchSpace(
+            max_tensor=int(params.get("max_tensor", 16)),
+            max_data=int(params.get("max_data", 32)),
+            max_pipeline=int(params.get("max_pipeline", 105)),
+            micro_batch_sizes=tuple(
+                params.get("micro_batches", (1, 2, 4, 8, 16))),
+            virtual_stages=tuple(params.get("virtual_stages", (1,))))
+
+        last_emitted = -1
+
+        def progress(done: int, total: int) -> None:
+            nonlocal last_emitted
+            if notify is None or not total:
+                return
+            step = max(1, total // 100)
+            if done != total and done - last_emitted < step:
+                return
+            last_emitted = done
+            notify(protocol.notification(
+                "dse.progress", {"done": done, "total": total}))
+
+        explorer = DesignSpaceExplorer(
+            model, training,
+            gpus_per_node=int(params.get("gpus_per_node", 8)),
+            granularity=granularity, network=network,
+            zero_stage=int(params.get("zero_stage", 1)))
+        result = explorer.explore(
+            space=space,
+            num_gpus=int(num_gpus) if num_gpus is not None else None,
+            max_gpus=int(max_gpus) if max_gpus is not None else None,
+            cache=self.cache, progress=progress)
+
+        top = int(params.get("top", 10))
+        feasible = sorted(result.feasible_points,
+                          key=lambda point: point.iteration_time)
+        payload: dict[str, Any] = {
+            "num_plans": len(result.points),
+            "num_feasible": result.num_feasible,
+            "top": [point.to_dict() for point in feasible[:top]],
+        }
+        if result.num_feasible:
+            payload["fastest"] = result.best_by_iteration_time().to_dict()
+            payload["cheapest"] = result.best_by_cost().to_dict()
+        if params.get("include_points"):
+            payload["points"] = [point.to_dict()
+                                 for point in result.points]
+        return payload
+
+    @staticmethod
+    def _dse_model(key: str) -> ModelConfig:
+        for name, model in MODEL_ZOO.items():
+            if name.lower().replace(" ", "-") == key:
+                return model
+        raise ConfigError(f"unknown preset {key!r}")
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The ``/stats`` payload: req/s, latency quantiles, hit rates."""
+        uptime = max(time.monotonic() - self.started_at, 1e-9)
+        total = self._requests.value
+        return {
+            "uptime_s": uptime,
+            "requests": {
+                "total": total,
+                "predict": self._predicts.value,
+                "dse": self._dses.value,
+                "errors": self._request_errors.value,
+                "per_second": total / uptime,
+            },
+            "latency": {
+                "request_s": self._request_latency.summary(),
+                "predict_s": self._predict_latency.summary(),
+            },
+            "dedup": {
+                "leaders": self._dedup_leaders.value,
+                "coalesced": self._dedup_coalesced.value,
+                "cache_served": self._cache_served.value,
+            },
+            "batch": {
+                "flushes": self._batch_flushes.value,
+                "jobs": self._batch_jobs.value,
+                "size": self._batch_size.summary(),
+            },
+            "prediction_cache": self.cache.stats,
+            "structure_cache": structure_cache_stats(),
+            "resident_simulators": len(self._vtrains),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, message: dict[str, Any],
+                 notify: Notify) -> tuple[dict[str, Any], bool]:
+        """Answer one JSON-RPC request.
+
+        Returns ``(response, shutdown_requested)``; transports write
+        the response and tear themselves down when the flag is set.
+        Never raises — every failure becomes a JSON-RPC error response.
+        """
+        try:
+            request_id, method, params = protocol.parse_request(message)
+        except protocol.ProtocolError as exc:
+            self._request_errors.increment()
+            return protocol.error_response(
+                message.get("id"), protocol.INVALID_REQUEST, str(exc)), False
+        self._requests.increment()
+        started = time.perf_counter()
+        shutdown = False
+        try:
+            if method == "ping":
+                result: Any = {"ok": True}
+            elif method == "predict":
+                result = self.predict(params)
+            elif method == "predict_batch":
+                result = self.predict_batch(params)
+            elif method == "dse":
+                result = self.dse(params, notify)
+            elif method == "stats":
+                result = self.stats()
+            elif method == "shutdown":
+                result = {"ok": True}
+                shutdown = True
+            else:
+                self._request_errors.increment()
+                return protocol.error_response(
+                    request_id, protocol.METHOD_NOT_FOUND,
+                    f"unknown method {method!r}"), False
+            response = protocol.response(request_id, result)
+        except InfeasibleConfigError as exc:
+            self._request_errors.increment()
+            response = protocol.error_response(
+                request_id, protocol.INFEASIBLE, str(exc))
+        except (ConfigError, ReproError) as exc:
+            self._request_errors.increment()
+            response = protocol.error_response(
+                request_id, protocol.INVALID_PARAMS, str(exc))
+        except Exception as exc:  # noqa: BLE001 - answered, not raised
+            self._request_errors.increment()
+            response = protocol.error_response(
+                request_id, protocol.INTERNAL_ERROR,
+                f"{type(exc).__name__}: {exc}")
+        self._request_latency.observe(time.perf_counter() - started)
+        return response, shutdown

@@ -17,6 +17,7 @@ story.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -166,6 +167,11 @@ class VTrain:
         self.structure_cache_hits = 0
         self.structure_cache_misses = 0
         self.last_predict_timing: PredictTiming | None = None
+        # Concurrent predicts (the `repro serve` daemon) race on the
+        # instance counters above; `int +=` is not atomic across the
+        # load/store, so keep the accounting exact under contention.
+        # last_predict_timing stays last-writer-wins by design.
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -220,10 +226,12 @@ class VTrain:
             structure_cache_put(key, structure)
             durations = structure.duration
         if cache_hit:
-            self.structure_cache_hits += 1
+            with self._stats_lock:
+                self.structure_cache_hits += 1
             obs.observe("sim.duration_fill_s", fill_s)
         else:
-            self.structure_cache_misses += 1
+            with self._stats_lock:
+                self.structure_cache_misses += 1
             obs.observe("sim.structure_build_s", build_s)
         obs.observe("sim.builder_init_s", builder_init_s)
         return PreparedPlan(structure=structure, durations=durations,
@@ -245,7 +253,8 @@ class VTrain:
             InfeasibleConfigError: Structural violation, or (when memory
                 checking is enabled) per-GPU memory overflow.
         """
-        self.num_predictions += 1
+        with self._stats_lock:
+            self.num_predictions += 1
         started = time.perf_counter()
         with obs.span(
                 "predict",
@@ -382,7 +391,8 @@ class VTrain:
             for column, position in enumerate(positions):
                 results[position] = batch.column(
                     column, metadata=entries[position][2].metadata)
-        self.num_predictions += len(entries)
+        with self._stats_lock:
+            self.num_predictions += len(entries)
         return [self._prediction(model, plan, training, footprint, result)
                 for (plan, footprint, _), result in zip(entries, results)]
 

@@ -38,6 +38,13 @@ class TestFastExamples:
         assert "fat-tree:8" in out
         assert "hierarchical" in out or "ring" in out
 
+    def test_serve_clients(self, capsys):
+        load_example("serve_clients").main()
+        out = capsys.readouterr().out
+        assert "simulations actually run: 1" in out
+        assert "Daemon stats" in out
+        assert "coalesced" in out
+
     @pytest.mark.slow
     def test_quickstart(self, capsys):
         load_example("quickstart").main()

@@ -1,0 +1,684 @@
+"""Tests for ``repro.serve`` — the prediction daemon and its guarantees.
+
+The load-bearing claims under test:
+
+* served predictions are **bit-identical** to direct
+  :meth:`VTrain.predict` calls, on every serving path;
+* N identical concurrent predicts run **exactly one** simulation
+  (in-flight dedup for the concurrent window, the prediction cache for
+  stragglers);
+* concurrent ``VTrain.predict`` on a warm structure cache stays
+  bit-identical to serial with exact hit counters (the thread-safety
+  satellite of the serving PR);
+* the JSON-RPC transports (TCP and stdio) round-trip results and
+  streamed progress without altering them.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.config.description import InputDescription
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig, TrainingConfig
+from repro.config.system import single_node
+from repro.dse.cache import PredictionCache, fingerprint
+from repro.dse.explorer import DesignPoint
+from repro.errors import ReproError
+from repro.graph.builder import (Granularity, clear_structure_cache,
+                                 structure_cache_get, structure_cache_put,
+                                 structure_cache_stats)
+from repro.serve import (PredictionService, RemoteError, ServeClient,
+                         ServeDaemon, protocol, serve_stdio)
+from repro.sim.estimator import VTrain
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    """Serve tests assert on process-wide state (structure cache,
+    metric counters); start and leave each test clean."""
+    clear_structure_cache()
+    obs.reset()
+    yield
+    clear_structure_cache()
+    obs.reset()
+
+
+@pytest.fixture
+def service():
+    svc = PredictionService(batch_window_s=0.001)
+    yield svc
+    svc.close()
+
+
+def tiny_description(*, tensor: int = 2, data: int = 2, pipeline: int = 2,
+                     micro_batch_size: int = 2) -> InputDescription:
+    model = ModelConfig(hidden_size=512, num_layers=4, seq_length=128,
+                        num_heads=8, vocab_size=32_000, name="tiny")
+    plan = ParallelismConfig(tensor=tensor, data=data, pipeline=pipeline,
+                             micro_batch_size=micro_batch_size)
+    return InputDescription(model=model, system=single_node(), plan=plan,
+                            training=TrainingConfig(global_batch_size=16))
+
+
+# ---------------------------------------------------------------------------
+# Protocol framing
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = protocol.request(7, "predict", {"x": [1.5, "a"]})
+        assert protocol.decode_line(protocol.encode(message)[:-1]) == message
+
+    def test_float_repr_survives_the_wire(self):
+        value = 0.1 + 0.2  # not exactly 0.3
+        frame = protocol.encode(protocol.response(1, {"t": value}))
+        assert protocol.decode_line(frame[:-1])["result"]["t"] == value
+
+    def test_notification_has_no_id(self):
+        note = protocol.notification("dse.progress", {"done": 1})
+        assert "id" not in note and note["method"] == "dse.progress"
+
+    def test_read_message_clean_eof_returns_none(self):
+        assert protocol.read_message(io.BytesIO(b"")) is None
+
+    def test_read_message_rejects_truncated_frame(self):
+        with pytest.raises(protocol.ProtocolError, match="mid-message"):
+            protocol.read_message(io.BytesIO(b'{"jsonrpc":"2.0"'))
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError, match="object"):
+            protocol.decode_line(b"[1,2]")
+
+    def test_parse_request_rejects_missing_method(self):
+        with pytest.raises(protocol.ProtocolError, match="method"):
+            protocol.parse_request({"jsonrpc": "2.0", "id": 1})
+
+    def test_stream_of_messages(self):
+        stream = io.BytesIO(protocol.encode(protocol.request(1, "ping"))
+                            + protocol.encode(protocol.request(2, "ping")))
+        first = protocol.read_message(stream)
+        second = protocol.read_message(stream)
+        assert (first["id"], second["id"]) == (1, 2)
+        assert protocol.read_message(stream) is None
+
+
+# ---------------------------------------------------------------------------
+# Service semantics (no transport)
+# ---------------------------------------------------------------------------
+class TestServiceBitIdentical:
+    def test_served_equals_direct_vtrain(self, service):
+        description = tiny_description()
+        direct = VTrain(description.system).predict(
+            description.model, description.plan, description.training)
+        served = service.predict({"description": description.to_dict()})
+        assert served["iteration_time"] == direct.iteration_time
+        assert (served["gpu_compute_utilization"]
+                == direct.gpu_compute_utilization)
+        assert served["memory_per_gpu"] == direct.memory_per_gpu
+        assert served["num_gpus"] == description.plan.total_gpus
+
+    def test_cache_path_is_bit_identical_to_computed(self, service):
+        description = tiny_description()
+        params = {"description": description.to_dict()}
+        computed = service.predict(params)
+        cached = service.predict(params)
+        assert computed["served"]["source"] == "computed"
+        assert cached["served"]["source"] == "cache"
+        computed.pop("served")
+        cached.pop("served")
+        assert cached == computed
+
+    def test_stage_granularity_matches_direct(self, service):
+        description = tiny_description()
+        direct = VTrain(description.system,
+                        granularity=Granularity.STAGE).predict(
+            description.model, description.plan, description.training)
+        served = service.predict({"description": description.to_dict(),
+                                  "granularity": "stage"})
+        assert served["iteration_time"] == direct.iteration_time
+
+    def test_preset_request_resolves_zoo_key(self, service):
+        served = service.predict({"preset": "megatron-1.7b",
+                                  "granularity": "stage"})
+        assert served["iteration_time"] > 0
+        assert served["num_gpus"] == 32
+
+
+class TestServiceDedup:
+    def test_n_identical_concurrent_predicts_run_one_simulation(
+            self, service):
+        """The acceptance criterion: the dedup counter is pinned.
+
+        Whatever the interleaving, the total across serving sources is
+        exactly N with one leader — and the resident simulator counts
+        exactly one simulation.
+        """
+        description = tiny_description()
+        params = {"description": description.to_dict()}
+        n = 8
+        results: list[dict] = [None] * n
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(n)
+
+        def worker(slot: int) -> None:
+            try:
+                barrier.wait()
+                results[slot] = service.predict(params)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Exactly one simulation ran, no matter how threads interleaved.
+        assert [v.num_predictions
+                for v in service._vtrains.values()] == [1]
+        stats = service.stats()["dedup"]
+        assert stats["leaders"] == 1
+        assert stats["coalesced"] + stats["cache_served"] == n - 1
+        # And every caller saw the same bits.
+        payloads = [{k: v for k, v in r.items() if k != "served"}
+                    for r in results]
+        assert all(payload == payloads[0] for payload in payloads)
+
+    def test_sequential_repeats_hit_the_cache_not_the_simulator(
+            self, service):
+        params = {"description": tiny_description().to_dict()}
+        service.predict(params)
+        for _ in range(3):
+            assert service.predict(params)["served"]["source"] == "cache"
+        assert [v.num_predictions
+                for v in service._vtrains.values()] == [1]
+
+    def test_distinct_plans_do_not_coalesce(self, service):
+        first = service.predict(
+            {"description": tiny_description(tensor=2, data=2, pipeline=2)
+             .to_dict()})
+        second = service.predict(
+            {"description": tiny_description(tensor=1, data=4, pipeline=2)
+             .to_dict()})
+        assert first["iteration_time"] != second["iteration_time"]
+        assert service.stats()["dedup"]["leaders"] == 2
+
+
+class TestServiceBatching:
+    def test_predict_batch_preserves_order_and_matches_direct(
+            self, service):
+        descriptions = [tiny_description(tensor=2, data=2, pipeline=2),
+                        tiny_description(tensor=1, data=4, pipeline=2),
+                        tiny_description(tensor=4, data=2, pipeline=1)]
+        rows = service.predict_batch(
+            {"requests": [{"description": d.to_dict()}
+                          for d in descriptions]})["results"]
+        assert len(rows) == 3
+        vtrain = VTrain(descriptions[0].system)
+        for description, row in zip(descriptions, rows):
+            direct = vtrain.predict(description.model, description.plan,
+                                    description.training)
+            assert row["result"]["iteration_time"] == direct.iteration_time
+            assert row["result"]["memory_per_gpu"] == direct.memory_per_gpu
+
+    def test_duplicate_entries_in_one_batch_coalesce(self, service):
+        params = {"description": tiny_description().to_dict()}
+        rows = service.predict_batch(
+            {"requests": [params, params, params]})["results"]
+        assert [v.num_predictions
+                for v in service._vtrains.values()] == [1]
+        payloads = [{k: v for k, v in row["result"].items()
+                     if k != "served"} for row in rows]
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_infeasible_entry_fails_alone(self, service):
+        good = {"description": tiny_description().to_dict()}
+        bad = {"description":
+               tiny_description(tensor=2, data=2, pipeline=3).to_dict()}
+        rows = service.predict_batch({"requests": [good, bad]})["results"]
+        assert "result" in rows[0]
+        assert rows[1]["error"]["code"] == protocol.INFEASIBLE
+
+    def test_batched_jobs_flow_through_batch_counters(self, service):
+        descriptions = [tiny_description(tensor=2, data=2, pipeline=2),
+                        tiny_description(tensor=1, data=4, pipeline=2)]
+        service.predict_batch(
+            {"requests": [{"description": d.to_dict()}
+                          for d in descriptions]})
+        batch = service.stats()["batch"]
+        assert batch["jobs"] == 2
+        assert batch["flushes"] >= 1
+
+
+class TestServiceErrors:
+    def test_infeasible_plan_raises_like_direct_predict(self, service):
+        from repro.errors import InfeasibleConfigError
+        bad = tiny_description(tensor=2, data=2, pipeline=3)  # 12 != 8
+        with pytest.raises(InfeasibleConfigError):
+            service.predict({"description": bad.to_dict()})
+
+    def test_needs_exactly_one_of_description_or_preset(self, service):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="exactly one"):
+            service.predict({})
+        with pytest.raises(ConfigError, match="exactly one"):
+            service.predict({"preset": "gpt3",
+                             "description": tiny_description().to_dict()})
+
+    def test_unknown_preset_rejected(self, service):
+        with pytest.raises(ReproError, match="unknown preset"):
+            service.predict({"preset": "definitely-not-a-model"})
+
+    def test_closed_service_refuses_admission(self):
+        svc = PredictionService(batch_window_s=0.0)
+        svc.close()
+        with pytest.raises(ReproError, match="shutting down"):
+            svc.predict({"description": tiny_description().to_dict()})
+
+
+class TestDispatch:
+    def test_ping(self, service):
+        response, shutdown = service.dispatch(
+            protocol.request(1, "ping"), lambda note: None)
+        assert response["result"] == {"ok": True} and not shutdown
+
+    def test_unknown_method_maps_to_method_not_found(self, service):
+        response, _ = service.dispatch(
+            protocol.request(2, "frobnicate"), lambda note: None)
+        assert response["error"]["code"] == protocol.METHOD_NOT_FOUND
+
+    def test_malformed_request_maps_to_invalid_request(self, service):
+        response, _ = service.dispatch({"jsonrpc": "2.0", "id": 3},
+                                       lambda note: None)
+        assert response["error"]["code"] == protocol.INVALID_REQUEST
+
+    def test_infeasible_maps_to_infeasible_code(self, service):
+        bad = tiny_description(tensor=2, data=2, pipeline=3)
+        response, _ = service.dispatch(
+            protocol.request(4, "predict",
+                             {"description": bad.to_dict()}),
+            lambda note: None)
+        assert response["error"]["code"] == protocol.INFEASIBLE
+
+    def test_shutdown_sets_the_flag(self, service):
+        response, shutdown = service.dispatch(
+            protocol.request(5, "shutdown"), lambda note: None)
+        assert response["result"] == {"ok": True} and shutdown
+
+    def test_dispatch_never_raises_on_internal_error(self, service):
+        response, _ = service.dispatch(
+            protocol.request(6, "dse", {"model": "megatron-1.7b",
+                                        "num_gpus": "not-a-number"}),
+            lambda note: None)
+        assert response["error"]["code"] == protocol.INTERNAL_ERROR
+
+    def test_stats_shape(self, service):
+        service.predict({"description": tiny_description().to_dict()})
+        response, _ = service.dispatch(protocol.request(7, "stats"),
+                                       lambda note: None)
+        stats = response["result"]
+        assert stats["requests"]["total"] >= 1
+        assert {"p50", "p99"} <= set(stats["latency"]["predict_s"])
+        assert {"leaders", "coalesced",
+                "cache_served"} <= set(stats["dedup"])
+        assert stats["resident_simulators"] == 1
+        assert stats["structure_cache"]["entries"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# TCP daemon + client
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def daemon(service):
+    server = ServeDaemon(service, port=0)
+    server.start()
+    yield server
+    server.stop()
+
+
+def connect(daemon: ServeDaemon) -> ServeClient:
+    host, port = daemon.address
+    return ServeClient.connect(host, port, timeout=5.0)
+
+
+class TestDaemon:
+    def test_ping_and_stats_round_trip(self, daemon):
+        with connect(daemon) as client:
+            assert client.ping()
+            assert client.stats()["requests"]["total"] >= 1
+
+    def test_served_over_tcp_is_bit_identical(self, daemon):
+        description = tiny_description()
+        direct = VTrain(description.system).predict(
+            description.model, description.plan, description.training)
+        with connect(daemon) as client:
+            served = client.predict(description=description.to_dict())
+        assert served["iteration_time"] == direct.iteration_time
+        assert served["memory_per_gpu"] == direct.memory_per_gpu
+
+    def test_concurrent_clients_share_one_simulation(self, daemon,
+                                                     service):
+        description = tiny_description()
+        n = 6
+        results: list[dict] = [None] * n
+        barrier = threading.Barrier(n)
+
+        def worker(slot: int) -> None:
+            with connect(daemon) as client:
+                barrier.wait()
+                results[slot] = client.predict(
+                    description=description.to_dict())
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert [v.num_predictions
+                for v in service._vtrains.values()] == [1]
+        payloads = [{k: v for k, v in r.items() if k != "served"}
+                    for r in results]
+        assert all(payload == payloads[0] for payload in payloads)
+
+    def test_remote_error_carries_infeasible_code(self, daemon):
+        bad = tiny_description(tensor=2, data=2, pipeline=3)
+        with connect(daemon) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.predict(description=bad.to_dict())
+        assert excinfo.value.code == protocol.INFEASIBLE
+
+    def test_dse_streams_progress_and_reuses_the_cache(self, daemon,
+                                                       service):
+        params = {"model": "megatron-1.7b", "num_gpus": 8,
+                  "max_tensor": 4, "max_data": 8, "max_pipeline": 4,
+                  "micro_batches": [1, 2], "granularity": "stage"}
+        events: list[dict] = []
+        with connect(daemon) as client:
+            first = client.dse(params, on_progress=events.append)
+            second = client.dse(params)
+        assert first["num_plans"] > 0
+        assert events and events[-1]["done"] == events[-1]["total"]
+        assert second == first  # replayed fully from the shared cache
+        assert service.cache.stats["hits"] >= first["num_plans"]
+
+    def test_shutdown_stops_the_daemon(self, service):
+        server = ServeDaemon(service, port=0)
+        server.start()
+        client = connect(server)
+        client.shutdown()
+        # The accept loop winds down; stop() (idempotent) must not hang.
+        server.stop()
+
+
+# ---------------------------------------------------------------------------
+# stdio transport
+# ---------------------------------------------------------------------------
+class TestStdio:
+    def test_serve_stdio_round_trip_in_memory(self, service):
+        stdin = io.BytesIO(
+            protocol.encode(protocol.request(1, "ping"))
+            + protocol.encode(protocol.request(
+                2, "predict",
+                {"description": tiny_description().to_dict()}))
+            + protocol.encode(protocol.request(3, "shutdown"))
+            + protocol.encode(protocol.request(4, "ping")))
+        stdout = io.BytesIO()
+        serve_stdio(service, stdin, stdout)
+        stdout.seek(0)
+        replies = []
+        while (message := protocol.read_message(stdout)) is not None:
+            replies.append(message)
+        # The shutdown reply is the last one; request 4 is never read.
+        assert [m["id"] for m in replies] == [1, 2, 3]
+        assert replies[1]["result"]["iteration_time"] > 0
+
+    def test_spawned_subprocess_serves_and_exits_cleanly(self):
+        client, process = ServeClient.spawn()
+        try:
+            assert client.ping()
+            served = client.predict(
+                description=tiny_description().to_dict(),
+                granularity="stage")
+            assert served["iteration_time"] > 0
+            client.shutdown()
+            assert process.wait(timeout=30) == 0
+        finally:
+            client.close()
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Thread-safety satellites: warm concurrent VTrain and the shared caches
+# ---------------------------------------------------------------------------
+class TestConcurrentVTrain:
+    def test_warm_concurrent_predicts_are_bit_identical_with_exact_counters(
+            self):
+        """Concurrent ``VTrain.predict`` on a warm structure cache: every
+        thread sees the serial answer, and the hit counters are exact
+        under contention (the ``int +=`` races the lock now prevents)."""
+        description = tiny_description()
+        vtrain = VTrain(description.system)
+        serial = vtrain.predict(description.model, description.plan,
+                                description.training)
+        assert vtrain.structure_cache_misses == 1
+        threads_n, calls_each = 4, 5
+        results: list[list] = [[] for _ in range(threads_n)]
+        barrier = threading.Barrier(threads_n)
+
+        def worker(slot: int) -> None:
+            barrier.wait()
+            for _ in range(calls_each):
+                results[slot].append(vtrain.predict(
+                    description.model, description.plan,
+                    description.training))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for bucket in results:
+            for prediction in bucket:
+                assert prediction.iteration_time == serial.iteration_time
+                assert prediction.memory_per_gpu == serial.memory_per_gpu
+        total = threads_n * calls_each
+        assert vtrain.num_predictions == total + 1
+        assert vtrain.structure_cache_hits == total
+        assert vtrain.structure_cache_misses == 1
+
+    def test_cold_concurrent_predicts_agree(self):
+        """No warmup: racing builders may each construct the structure,
+        but every thread's answer is still the same bits and the
+        counters add up."""
+        description = tiny_description()
+        vtrain = VTrain(description.system)
+        n = 4
+        results: list = [None] * n
+        barrier = threading.Barrier(n)
+
+        def worker(slot: int) -> None:
+            barrier.wait()
+            results[slot] = vtrain.predict(
+                description.model, description.plan, description.training)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(r.iteration_time == results[0].iteration_time
+                   for r in results)
+        assert vtrain.num_predictions == n
+        assert (vtrain.structure_cache_hits
+                + vtrain.structure_cache_misses) == n
+
+
+class _StubStructure:
+    """Just enough of a GraphStructure for the LRU's task budget."""
+
+    num_tasks = 1
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+
+class TestConcurrentStructureCache:
+    def test_concurrent_put_get_keeps_stats_consistent(self):
+        """Hammer the process-wide cache from several threads; the LRU
+        bookkeeping must stay coherent (no lost entries, stats add up)."""
+        n_threads, n_keys, rounds = 4, 6, 50
+        barrier = threading.Barrier(n_threads)
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(rounds):
+                    key = f"serve-test-{(seed + i) % n_keys}"
+                    if structure_cache_get(key) is None:
+                        structure_cache_put(key, _StubStructure(key))
+                    cached = structure_cache_get(key)
+                    assert cached is not None and cached.key == key
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = structure_cache_stats()
+        assert stats["entries"] == n_keys
+        assert stats["hits"] + stats["misses"] == 2 * n_threads * rounds
+
+
+class TestConcurrentPredictionCache:
+    @staticmethod
+    def _point(key: str) -> DesignPoint:
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=1)
+        return DesignPoint(plan=plan, feasible=True,
+                           iteration_time=float(len(key)),
+                           utilization=0.5, memory_gib=1.0)
+
+    def test_concurrent_put_get_and_merge(self):
+        cache = PredictionCache()
+        other = PredictionCache()
+        for i in range(8):
+            other.put(f"pre-{i}", self._point(f"pre-{i}"))
+        n = 4
+        barrier = threading.Barrier(n)
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(40):
+                    key = f"k-{(seed * 7 + i) % 10}"
+                    cache.put(key, self._point(key))
+                    found = cache.get(key)
+                    if found is not None:
+                        assert found.iteration_time == float(len(key))
+                    cache.merge(other)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) == 10 + 8
+        stats = cache.stats
+        assert stats["hits"] + stats["misses"] == n * 40
+
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["put", "get"]),
+                  st.integers(min_value=0, max_value=4)),
+        min_size=1, max_size=30))
+    def test_interleaved_ops_from_two_threads_preserve_entries(self, ops):
+        """Hypothesis interleaving: split one op sequence across two
+        racing threads; whatever the schedule, every key that anyone
+        ``put`` is present with exactly its own payload, and ``get``
+        never returns a foreign point."""
+        cache = PredictionCache()
+        half = len(ops) // 2
+        barrier = threading.Barrier(2)
+        errors: list[BaseException] = []
+        put_keys: set[str] = {f"key-{i}" for op, i in ops if op == "put"}
+
+        def run(sequence) -> None:
+            try:
+                barrier.wait()
+                for op, i in sequence:
+                    key = f"key-{i}"
+                    if op == "put":
+                        cache.put(key, self._point(key))
+                    else:
+                        found = cache.get(key)
+                        if found is not None:
+                            assert (found.iteration_time
+                                    == float(len(key)))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(ops[:half],)),
+                   threading.Thread(target=run, args=(ops[half:],))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) == len(put_keys)
+        for key in put_keys:
+            assert cache.get(key).iteration_time == float(len(key))
+
+
+class TestServiceCacheIntegration:
+    def test_service_populates_the_prediction_cache_it_was_given(self):
+        cache = PredictionCache()
+        svc = PredictionService(cache=cache, batch_window_s=0.0)
+        try:
+            description = tiny_description()
+            svc.predict({"description": description.to_dict()})
+            key = fingerprint(description.model, description.plan,
+                              description.training, description.system,
+                              svc.default_granularity)
+            assert key in cache
+            point = cache.get(key)
+            assert point is not None and point.feasible
+        finally:
+            svc.close()
+
+    def test_preloaded_cache_serves_without_any_simulation(self):
+        description = tiny_description()
+        warm = PredictionService(batch_window_s=0.0)
+        try:
+            expected = warm.predict({"description": description.to_dict()})
+        finally:
+            warm.close()
+        svc = PredictionService(cache=warm.cache, batch_window_s=0.0)
+        try:
+            served = svc.predict({"description": description.to_dict()})
+            assert served["served"]["source"] == "cache"
+            assert not svc._vtrains  # no simulator was even constructed
+            served.pop("served")
+            expected.pop("served")
+            assert served == expected
+        finally:
+            svc.close()
