@@ -7,8 +7,12 @@ Usage::
 
 Each file is matched to a schema by shape — a ``traceEvents`` key means
 a Chrome trace (``schemas/chrome_trace.schema.json``); a
+``kind: obs_timeseries`` marker means the serving time-series ring
+(``schemas/obs_timeseries.schema.json``); a
 ``benchmark: service_throughput`` marker means the serving-tier store
 (``schemas/bench_service_throughput.schema.json``); a
+``benchmark: serve_telemetry`` marker means the telemetry-overhead
+store (``schemas/bench_serve_telemetry.schema.json``); a
 ``schema``/``benchmarks`` pair means the perf-trajectory store
 (``schemas/bench_sim_speed.schema.json``) — and validated with
 :mod:`repro.obs.schema`. Exits non-zero on the first invalid file, so
@@ -35,8 +39,12 @@ def schema_for(payload: object) -> Path:
     if isinstance(payload, dict):
         if "traceEvents" in payload:
             return SCHEMA_DIR / "chrome_trace.schema.json"
+        if payload.get("kind") == "obs_timeseries":
+            return SCHEMA_DIR / "obs_timeseries.schema.json"
         if payload.get("benchmark") == "service_throughput":
             return SCHEMA_DIR / "bench_service_throughput.schema.json"
+        if payload.get("benchmark") == "serve_telemetry":
+            return SCHEMA_DIR / "bench_serve_telemetry.schema.json"
         if "schema" in payload and "benchmarks" in payload:
             return SCHEMA_DIR / "bench_sim_speed.schema.json"
     raise SchemaError("payload matches no known artifact shape "

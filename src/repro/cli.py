@@ -13,14 +13,23 @@ Commands:
   prediction cache (``--cache`` / ``--checkpoint``); ``--metrics``
   prints and saves the observability registry snapshot.
 * ``stats`` — pretty-print a saved metrics snapshot (cache hit rates,
-  replay-throughput histograms with p50/p99).
+  replay-throughput histograms with p50/p99), or — with ``--connect
+  HOST:PORT`` — the *live* instruments of a running daemon.
 * ``serve`` — run the long-lived prediction daemon: one resident
   process owning the warm structure cache and a persistent prediction
   cache, serving concurrent predict/DSE requests over TCP
   (``--port N``) or stdin/stdout (``--stdio``) with in-flight
   deduplication and micro-batching (see :mod:`repro.serve`).
   ``predict --connect HOST:PORT`` routes a prediction through a
-  running daemon instead of paying cold start.
+  running daemon instead of paying cold start; add ``--trace out.json``
+  to get a *stitched* Chrome trace showing the request end-to-end
+  across both processes. ``--metrics-port`` opens a Prometheus scrape
+  endpoint, ``--access-log`` writes structured JSON request logs, and
+  ``--slo-latency-ms``/``--slo-availability`` set the objectives the
+  daemon's SLO tracker evaluates.
+* ``top`` — live terminal dashboard of a running daemon (req/s,
+  latency quantiles, cache hit rate, batch occupancy, SLO state),
+  refreshed from the daemon's time-series ring.
 * ``example <name>`` — write a ready-to-edit description file for a
   preset model (``gpt3-175b``, ``mt-nlg-530b``, ...).
 * ``presets`` — list the bundled model presets.
@@ -97,8 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve the prediction from a running "
                               "`repro serve` daemon instead of "
                               "simulating in-process (warm caches, no "
-                              "cold start); incompatible with --timing "
-                              "and --trace")
+                              "cold start); with --trace, writes a "
+                              "stitched client+daemon trace instead of "
+                              "the in-process timeline; incompatible "
+                              "with --timing")
 
     serve = commands.add_parser(
         "serve", help="run the long-lived prediction daemon (warm shared "
@@ -127,6 +138,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "single vectorized sweep (default: 2.0)")
     serve.add_argument("--max-batch", type=int, default=64,
                        help="requests per batcher flush (default: 64)")
+    serve.add_argument("--metrics-port", type=int, metavar="PORT",
+                       help="also serve GET /metrics (Prometheus text "
+                            "exposition), /healthz, /timeseries and /slo "
+                            "over HTTP on this port (0 picks a free "
+                            "port); scrapes run off the prediction path")
+    serve.add_argument("--access-log", type=Path, metavar="PATH",
+                       help="append one structured JSON line per request "
+                            "(method, request/trace IDs, status, "
+                            "latency, peer) to this file; '-' for "
+                            "stderr")
+    serve.add_argument("--sample-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="cadence of the background time-series "
+                            "sampler feeding `repro top` and the SLO "
+                            "tracker; 0 disables the thread "
+                            "(default: 1.0)")
+    serve.add_argument("--slo-latency-ms", type=float, default=250.0,
+                       help="served-predict p99 latency objective in "
+                            "milliseconds (default: 250)")
+    serve.add_argument("--slo-availability", type=float, default=0.999,
+                       help="fraction of requests that must succeed "
+                            "(default: 0.999)")
+    serve.add_argument("--slo-window", type=float, default=600.0,
+                       metavar="SECONDS",
+                       help="rolling SLO evaluation window in seconds "
+                            "(default: 600)")
 
     dse = commands.add_parser(
         "dse", help="sweep the 3D-parallelism design space for a preset "
@@ -207,12 +244,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = commands.add_parser(
         "stats", help="pretty-print a saved metrics snapshot (cache hit "
-                      "rates, replay-throughput histograms with p50/p99)")
+                      "rates, replay-throughput histograms with p50/p99) "
+                      "or a running daemon's live instruments")
     stats.add_argument("snapshot", type=Path, nargs="?",
                        help="snapshot JSON written by `repro dse "
                             "--metrics` (default: "
                             "repro_obs_snapshot.json, or "
                             "$REPRO_OBS_SNAPSHOT)")
+    stats.add_argument("--connect", metavar="HOST:PORT",
+                       help="read the live metrics registry of a running "
+                            "`repro serve` daemon instead of a snapshot "
+                            "file")
+
+    top = commands.add_parser(
+        "top", help="live terminal dashboard of a running daemon "
+                    "(req/s, latency, cache hit rate, batch occupancy, "
+                    "SLO state)")
+    top.add_argument("--connect", metavar="HOST:PORT", required=True,
+                     help="daemon endpoint to watch")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="refresh cadence (default: 2.0)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="render N frames then exit (default: run "
+                          "until interrupted)")
 
     example = commands.add_parser(
         "example", help="write an editable example description file")
@@ -270,10 +325,10 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         description = InputDescription.load(args.description)
     description.validate()
     if args.connect:
-        if args.timing or args.trace:
+        if args.timing:
             raise ReproError(
-                "--timing/--trace run in-process; they are not available "
-                "with --connect (the daemon's `stats` method reports "
+                "--timing runs in-process; it is not available with "
+                "--connect (the daemon's `stats` method reports "
                 "serving latency)")
         return _predict_connected(args, description)
     if args.trace:
@@ -333,13 +388,20 @@ def _parse_endpoint(spec: str) -> tuple[str, int]:
 def _predict_connected(args: argparse.Namespace,
                        description: InputDescription) -> int:
     """``predict --connect``: serve the request from a running daemon."""
+    import os
+
+    from repro.obs.stitch import stitch_trace
     from repro.serve import ServeClient
 
     host, port = _parse_endpoint(args.connect)
+    trace_id = obs.new_trace_id() if args.trace else None
     with ServeClient.connect(host, port) as client:
         payload = client.predict(description=description.to_dict(),
                                  granularity=args.granularity,
-                                 zero_stage=None)
+                                 zero_stage=None,
+                                 trace=args.trace is not None,
+                                 trace_id=trace_id)
+        client_spans = list(client.last_call_spans)
     print(f"model            : {description.model.describe()}")
     print(f"system           : {description.system.describe()}")
     print(f"plan             : {description.plan.describe()}")
@@ -349,6 +411,22 @@ def _predict_connected(args: argparse.Namespace,
     print(f"utilization      : "
           f"{100 * payload['gpu_compute_utilization']:.2f} %")
     print(f"memory per GPU   : {payload['memory_per_gpu'] / GIB:.2f} GiB")
+    if args.trace:
+        served = payload["served"]
+        stitched = stitch_trace(
+            trace_id=trace_id,
+            client_spans=client_spans,
+            server_spans=served.get("spans", []),
+            client_pid=os.getpid(),
+            server_pid=served.get("pid", 0),
+            metadata={"model": description.model.describe(),
+                      "plan": description.plan.describe(),
+                      "endpoint": f"{host}:{port}",
+                      "source": served["source"]})
+        write_trace(args.trace, stitched)
+        print(f"trace            : wrote "
+              f"{len(stitched['traceEvents'])} stitched events to "
+              f"{args.trace} (trace id {trace_id})")
     if description.training.total_tokens:
         iterations = description.training.num_iterations(description.model)
         total_seconds = payload["iteration_time"] * iterations
@@ -364,17 +442,36 @@ def _predict_connected(args: argparse.Namespace,
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the prediction daemon until interrupted or shut down."""
-    from repro.serve import PredictionService, ServeDaemon, serve_stdio
+    from repro.obs.slo import SLOConfig
+    from repro.serve import (MetricsHTTPServer, PredictionService,
+                             ServeDaemon, serve_stdio)
 
     obs.enable()  # the serving tier exists to report latency metrics
     cache = (PredictionCache.load(args.cache)
              if args.cache and args.cache.exists() else PredictionCache())
+    access_log = None
+    if args.access_log is not None:
+        access_log = (sys.stderr if str(args.access_log) == "-"
+                      else open(args.access_log, "a", encoding="utf-8"))
     service = PredictionService(
         cache=cache,
         batch_window_s=args.batch_window_ms / 1e3,
         max_batch=args.max_batch,
-        default_granularity=Granularity(args.granularity))
+        default_granularity=Granularity(args.granularity),
+        sample_interval_s=args.sample_interval,
+        slo=SLOConfig(latency_objective_s=args.slo_latency_ms / 1e3,
+                      availability_objective=args.slo_availability,
+                      window_s=args.slo_window),
+        access_log=access_log)
+    metrics_server = None
     try:
+        if args.metrics_port is not None:
+            metrics_server = MetricsHTTPServer(service, host=args.host,
+                                               port=args.metrics_port)
+            metrics_server.start()
+            mhost, mport = metrics_server.address
+            print(f"repro serve: metrics on http://{mhost}:{mport}/metrics",
+                  file=sys.stderr, flush=True)
         if args.stdio:
             print("repro serve: stdio session open", file=sys.stderr)
             serve_stdio(service, sys.stdin.buffer, sys.stdout.buffer)
@@ -391,7 +488,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             finally:
                 daemon.server_close()
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         service.close()
+        if access_log is not None and access_log is not sys.stderr:
+            access_log.close()
         if args.cache:
             cache.save(args.cache)
             print(f"repro serve: saved {len(cache)} cache entries to "
@@ -470,6 +571,15 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.connect:
+        from repro.serve import ServeClient
+
+        host, port = _parse_endpoint(args.connect)
+        with ServeClient.connect(host, port) as client:
+            snap = client.metrics()["snapshot"]
+        print(f"live daemon      : {host}:{port}")
+        print(obs.format_snapshot(snap))
+        return 0
     path = args.snapshot if args.snapshot else obs.default_snapshot_path()
     try:
         snap = obs.load_snapshot(path)
@@ -480,6 +590,82 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"snapshot         : {path}")
     print(obs.format_snapshot(snap))
     return 0
+
+
+_SPARK_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], width: int = 30) -> str:
+    """Render the tail of ``values`` as a unicode sparkline."""
+    tail = values[-width:]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _SPARK_BARS[0] * len(tail)
+    scale = len(_SPARK_BARS) - 1
+    return "".join(
+        _SPARK_BARS[min(scale, round(value / top * scale))]
+        for value in tail)
+
+
+def _top_frame(endpoint: str, series: dict, slo: dict) -> str:
+    """One rendered ``repro top`` frame."""
+    samples = series["samples"]
+    last = samples[-1]
+    req = [s["req_per_s"] for s in samples]
+    p99 = [s["p99_s"] for s in samples]
+    hit = [s["cache_hit_rate"] for s in samples]
+    batch = [s["batch_mean"] for s in samples]
+    budget = slo["error_budget"]
+    lines = [
+        f"repro top — {endpoint}   "
+        f"({len(samples)} samples @ {series['interval_s']:g}s)",
+        "",
+        f"  req/s      {last['req_per_s']:>9.2f}  {_sparkline(req)}",
+        f"  p99 (ms)   {last['p99_s'] * 1e3:>9.2f}  {_sparkline(p99)}",
+        f"  p50 (ms)   {last['p50_s'] * 1e3:>9.2f}",
+        f"  cache hit  {100 * last['cache_hit_rate']:>8.1f}%  "
+        f"{_sparkline(hit)}",
+        f"  batch occ  {last['batch_mean']:>9.2f}  {_sparkline(batch)}",
+        f"  errors     {last['errors']:>9d}",
+        "",
+        f"  SLO: latency {'OK ' if slo['latency']['ok'] else 'VIOLATED'} "
+        f"(p99 {slo['latency']['p99_s'] * 1e3:.1f}ms vs "
+        f"{slo['latency']['objective_s'] * 1e3:.0f}ms)   "
+        f"budget {100 * budget['remaining']:.1f}% left   "
+        f"burn {budget['burn_rate']:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over the daemon's time-series ring."""
+    import time as _time
+
+    from repro.serve import ServeClient
+
+    host, port = _parse_endpoint(args.connect)
+    endpoint = f"{host}:{port}"
+    frames = 0
+    with ServeClient.connect(host, port) as client:
+        while True:
+            series = client.timeseries(sample=True)
+            slo = client.slo()
+            frame = _top_frame(endpoint, series, slo)
+            if frames and args.iterations == 0:
+                # \x1b[H\x1b[2J = cursor home + clear, a dependency-free
+                # full-screen refresh (plain frames when iterating for
+                # tests/pipes).
+                print("\x1b[H\x1b[2J", end="")
+            print(frame, flush=True)
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            try:
+                _time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
 
 
 def _cmd_example(args: argparse.Namespace) -> int:
@@ -512,7 +698,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {"predict": _cmd_predict, "dse": _cmd_dse,
                 "stats": _cmd_stats, "serve": _cmd_serve,
-                "example": _cmd_example, "presets": _cmd_presets}
+                "top": _cmd_top, "example": _cmd_example,
+                "presets": _cmd_presets}
     try:
         return handlers[args.command](args)
     except (ReproError, FileNotFoundError) as exc:

@@ -38,6 +38,7 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro.obs.context import bind_trace, current_trace_id, new_trace_id
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                hit_rates)
 from repro.obs.tracer import ENGINE_PID, NULL_SPAN, Span, SpanTracer
@@ -48,6 +49,7 @@ __all__ = [
     "enable", "disable", "enabled", "span", "count", "observe",
     "set_gauge", "snapshot", "reset", "save_snapshot", "load_snapshot",
     "format_snapshot", "default_snapshot_path", "hit_rates",
+    "bind_trace", "current_trace_id", "new_trace_id",
 ]
 
 #: Environment variable that enables observability at import time.
@@ -61,8 +63,12 @@ _DEFAULT_SNAPSHOT = "repro_obs_snapshot.json"
 #: The process-wide metrics registry.
 metrics = MetricsRegistry()
 
-#: The process-wide span tracer.
+#: The process-wide span tracer. Its bounded ring reports evictions on
+#: the ``obs.spans.dropped`` counter, so a long-lived daemon with
+#: tracing enabled shows *that* it is dropping history, not just
+#: silently forgetting it.
 tracer = SpanTracer()
+tracer.on_drop = metrics.counter("obs.spans.dropped").increment
 
 _enabled = os.environ.get(ENV_SWITCH, "").strip().lower() not in (
     "", "0", "false", "off")

@@ -1,0 +1,57 @@
+"""Request-scoped telemetry context: trace IDs and their propagation.
+
+A *trace ID* names one logical request end-to-end — minted by whichever
+process first sees the request (``ServeClient`` for served predictions,
+the daemon itself for requests that arrive without one), carried in the
+JSON-RPC envelope across the process boundary, and attached to every
+span, access-log line, and dedup/batch decision made on the request's
+behalf. The stitcher (:mod:`repro.obs.stitch`) later joins the
+client-side and daemon-side span streams on this ID.
+
+Propagation uses a :class:`contextvars.ContextVar`, so the binding is
+scoped to the handling thread (or task) and interleaved requests on
+other threads never see each other's IDs — pinned by the concurrency
+tests in ``tests/test_serve_telemetry.py``. Work handed to *other*
+threads (the micro-batcher) does not inherit the binding; those hops
+carry the ID explicitly on the job object.
+"""
+
+from __future__ import annotations
+
+import binascii
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+#: Hex characters in a trace ID (64 random bits).
+TRACE_ID_CHARS = 16
+
+_TRACE_ID: ContextVar[str | None] = ContextVar("repro_trace_id",
+                                               default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit random trace ID as lowercase hex."""
+    return binascii.hexlify(os.urandom(TRACE_ID_CHARS // 2)).decode("ascii")
+
+
+def current_trace_id() -> str | None:
+    """The trace ID bound to the calling thread/context, if any."""
+    return _TRACE_ID.get()
+
+
+@contextmanager
+def bind_trace(trace_id: str | None) -> Iterator[str | None]:
+    """Bind ``trace_id`` as the current trace for the enclosed block.
+
+    Spans recorded inside the block (and anything else that consults
+    :func:`current_trace_id`) are tagged with it. Binding ``None`` is a
+    no-op passthrough that still shields the block from an outer
+    binding being mistaken for its own.
+    """
+    token = _TRACE_ID.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)

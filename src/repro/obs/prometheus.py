@@ -1,0 +1,90 @@
+"""Prometheus text-exposition rendering of a metrics snapshot.
+
+One function, :func:`render_prometheus`, maps a
+:func:`repro.obs.snapshot` payload to the Prometheus text format
+(version 0.0.4) so any scrape pipeline can ingest the daemon's
+instruments without a client library:
+
+* counters  -> ``# TYPE repro_serve_requests counter`` samples;
+* gauges    -> ``gauge`` samples;
+* histograms -> ``summary`` families — ``{quantile="0.5|0.9|0.99"}``
+  samples from the reservoir quantiles plus exact ``_sum``/``_count``;
+* derived ``*.hit_rate`` pairs -> gauges (they are ratios, not
+  monotonic counts).
+
+Metric names are sanitised to the Prometheus grammar (dots and any
+other illegal characters become underscores) and prefixed with
+``repro_`` so a shared Prometheus keeps its namespaces apart. The
+daemon serves this text on the ``metrics`` RPC
+(``format="prometheus"``) and on ``GET /metrics`` of the optional
+``repro serve --metrics-port`` scrape listener.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+#: Content-Type of the text exposition format, for HTTP scrape replies.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Every exported metric name starts with this.
+NAME_PREFIX = "repro_"
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def metric_name(name: str) -> str:
+    """The Prometheus-legal name for a dotted registry name."""
+    sanitised = _ILLEGAL.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = f"_{sanitised}"
+    return f"{NAME_PREFIX}{sanitised}"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: repr keeps floats exact, ints stay ints."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """The text exposition of one metrics snapshot.
+
+    Accepts the payload of :func:`repro.obs.snapshot` (or any dict with
+    the same ``counters``/``gauges``/``histograms``/``derived`` keys)
+    and returns the full scrape body, newline-terminated.
+    """
+    lines: list[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        prom = metric_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(
+            f"{prom} {_format_value(snapshot['counters'][name])}")
+
+    gauges = dict(snapshot.get("gauges", {}))
+    # Derived hit rates are ratios in [0, 1]: gauges, not counters.
+    for name, rate in snapshot.get("derived", {}).get("hit_rates",
+                                                      {}).items():
+        gauges.setdefault(name, rate)
+    for name in sorted(gauges):
+        prom = metric_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_format_value(gauges[name])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        prom = metric_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for quantile, key in _QUANTILES:
+            lines.append(f'{prom}{{quantile="{quantile}"}} '
+                         f"{_format_value(summary[key])}")
+        lines.append(f"{prom}_sum {_format_value(summary['sum'])}")
+        lines.append(f"{prom}_count {_format_value(summary['count'])}")
+
+    return "\n".join(lines) + "\n" if lines else "\n"

@@ -1,0 +1,118 @@
+"""SLO tracking for the serving tier: latency objective + error budget.
+
+An :class:`SLOConfig` states the promise the daemon is held to — a
+served-predict p99 latency objective and an availability objective
+(fraction of requests answered without error) over a rolling window.
+:class:`SLOTracker` evaluates the promise against the time-series ring
+(:mod:`repro.obs.timeseries`): windowed counts come from the ring's
+counter samples, so the verdict reflects the configured window, not
+lifetime-since-boot averages that bury incidents.
+
+Error-budget arithmetic is the standard SRE formulation: with an
+availability objective ``a``, the budget for ``N`` windowed requests is
+``(1 - a) * N`` errors; *consumed* is the fraction of that budget the
+window's errors ate, and *burn rate* is the window error ratio divided
+by the allowed ratio — ``1.0`` means "exactly on budget", above it the
+budget is burning faster than it accrues.
+
+Each evaluation also publishes ``serve.slo.*`` gauges on the registry
+(latency-objective compliance, budget remaining, burn rate), so SLO
+state rides along in every snapshot, Prometheus scrape, and
+``repro top`` frame without a second code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The serving objectives the tracker evaluates.
+
+    Args:
+        latency_objective_s: Served-predict p99 must stay at or under
+            this many seconds.
+        availability_objective: Fraction of requests that must succeed
+            (``0.999`` = three nines).
+        window_s: Rolling evaluation window in seconds; samples older
+            than this are ignored.
+    """
+
+    latency_objective_s: float = 0.25
+    availability_objective: float = 0.999
+    window_s: float = 600.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {"latency_objective_s": self.latency_objective_s,
+                "availability_objective": self.availability_objective,
+                "window_s": self.window_s}
+
+
+class SLOTracker:
+    """Evaluate an :class:`SLOConfig` against time-series samples."""
+
+    def __init__(self, config: SLOConfig,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.config = config
+        self._latency_ok = self._budget = self._burn = None
+        if registry is not None:
+            self._latency_ok = registry.gauge("serve.slo.latency_ok")
+            self._budget = registry.gauge(
+                "serve.slo.error_budget_remaining")
+            self._burn = registry.gauge("serve.slo.burn_rate")
+
+    def evaluate(self, samples: list[dict[str, Any]]) -> dict[str, Any]:
+        """The SLO verdict over the configured window of ``samples``.
+
+        ``samples`` is the time-series ring (oldest first); counts are
+        deltas between the window's edge samples. With fewer than two
+        in-window samples the verdict is a healthy no-data state (empty
+        window, nothing violated).
+        """
+        config = self.config
+        window: list[dict[str, Any]] = []
+        if samples:
+            horizon = samples[-1]["t_unix"] - config.window_s
+            window = [s for s in samples if s["t_unix"] >= horizon]
+
+        requests = errors = 0
+        p99_s = 0.0
+        if len(window) >= 2:
+            requests = window[-1]["requests"] - window[0]["requests"]
+            errors = window[-1]["errors"] - window[0]["errors"]
+        if window:
+            p99_s = max(s["p99_s"] for s in window)
+
+        allowed_ratio = 1.0 - config.availability_objective
+        error_ratio = errors / requests if requests > 0 else 0.0
+        availability = 1.0 - error_ratio
+        budget_errors = allowed_ratio * requests
+        consumed = (min(errors / budget_errors, 1.0)
+                    if budget_errors > 0 else (1.0 if errors else 0.0))
+        burn_rate = (error_ratio / allowed_ratio
+                     if allowed_ratio > 0 else 0.0)
+        latency_ok = p99_s <= config.latency_objective_s
+
+        if self._latency_ok is not None:
+            self._latency_ok.set(1.0 if latency_ok else 0.0)
+            self._budget.set(1.0 - consumed)
+            self._burn.set(burn_rate)
+
+        return {
+            "config": config.to_dict(),
+            "window": {"samples": len(window), "requests": requests,
+                       "errors": errors},
+            "latency": {"objective_s": config.latency_objective_s,
+                        "p99_s": p99_s, "ok": latency_ok},
+            "availability": {"objective": config.availability_objective,
+                             "actual": availability,
+                             "ok": availability
+                             >= config.availability_objective},
+            "error_budget": {"consumed": consumed,
+                             "remaining": 1.0 - consumed,
+                             "burn_rate": burn_rate},
+        }

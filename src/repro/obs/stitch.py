@@ -1,0 +1,118 @@
+"""Stitch client-side and daemon-side spans into one Chrome trace.
+
+A served prediction crosses two processes: the client (CLI or
+:class:`~repro.serve.client.ServeClient`) and the ``repro serve``
+daemon. Each side records its own spans as plain *wire span* dicts —
+``{"name", "cat", "start_unix", "duration_s", "tags": {...}}`` — with
+wall-clock (unix) start times, which is what makes them mergeable: both
+processes run on the same machine, so one shared clock orders both
+streams. :func:`stitch_trace` lays the two streams out as two Chrome
+trace processes (the *real* OS pids, unlike the engine tracer's
+synthetic pid 1) and draws flow events across the RPC boundary — the
+request arrow from the client call into the daemon's handling, and the
+response arrow back — bound together by the request's trace ID.
+
+Opened in Perfetto, a single ``repro predict --connect --trace`` shows
+the client call on one track and, inside the daemon's track, how long
+the request sat in the micro-batch window (``serve.batch.queued``) and
+the batched sweep that served it (``serve.batch.execute``), including
+the leader's trace ID when the request coalesced onto another
+in-flight computation.
+
+The output conforms to ``schemas/chrome_trace.schema.json`` (which
+also admits the ``s``/``t``/``f`` flow phases) — round-trip pinned by
+``tests/test_serve_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_MICROS = 1_000_000.0
+
+
+def wire_span(name: str, category: str, start_unix: float,
+              duration_s: float, **tags: Any) -> dict[str, Any]:
+    """Build one wire-format span dict (the cross-process span shape)."""
+    return {"name": name, "cat": category, "start_unix": start_unix,
+            "duration_s": duration_s, "tags": tags}
+
+
+def _span_bounds(spans: list[dict[str, Any]]) -> tuple[float, float]:
+    starts = [s["start_unix"] for s in spans]
+    ends = [s["start_unix"] + s["duration_s"] for s in spans]
+    return min(starts), max(ends)
+
+
+def stitch_trace(*, trace_id: str,
+                 client_spans: list[dict[str, Any]],
+                 server_spans: list[dict[str, Any]],
+                 client_pid: int, server_pid: int,
+                 client_name: str = "repro client",
+                 server_name: str = "repro serve daemon",
+                 metadata: dict[str, Any] | None = None) -> dict[str, Any]:
+    """One Chrome-trace payload spanning the client/daemon boundary.
+
+    Timestamps are microseconds from the earliest span start across
+    both streams; exact unix starts ride along in each event's ``args``
+    (``start_unix``) the same way the simulated-timeline exporter keeps
+    exact seconds. When both sides contributed spans, paired flow
+    events (``ph: s``/``f``, id = the trace ID) tie the client call to
+    the daemon's handling and the daemon's completion back to the
+    client, so Perfetto renders the cross-process request as one
+    connected flow.
+    """
+    all_spans = client_spans + server_spans
+    if not all_spans:
+        raise ValueError(f"trace {trace_id}: no spans to stitch")
+    epoch = min(span["start_unix"] for span in all_spans)
+
+    def ts(unix: float) -> float:
+        return (unix - epoch) * _MICROS
+
+    events: list[dict[str, Any]] = []
+    for pid, name in ((client_pid, client_name), (server_pid, server_name)):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+    for pid, spans in ((client_pid, client_spans),
+                       (server_pid, server_spans)):
+        for span in spans:
+            args = {"start_unix": span["start_unix"]}
+            args.update(span.get("tags", {}))
+            args.setdefault("trace_id", trace_id)
+            events.append({
+                "name": span["name"],
+                "cat": span.get("cat", "serve"),
+                "ph": "X",
+                "ts": ts(span["start_unix"]),
+                "dur": span["duration_s"] * _MICROS,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            })
+
+    if client_spans and server_spans:
+        client_start, client_end = _span_bounds(client_spans)
+        server_start, server_end = _span_bounds(server_spans)
+        flows = (
+            ("rpc.request", f"{trace_id}:req",
+             (client_pid, client_start), (server_pid, server_start)),
+            ("rpc.response", f"{trace_id}:res",
+             (server_pid, server_end), (client_pid, client_end)),
+        )
+        for name, flow_id, (src_pid, src_unix), (dst_pid, dst_unix) in flows:
+            events.append({"name": name, "cat": "rpc", "ph": "s",
+                           "id": flow_id, "ts": ts(src_unix),
+                           "pid": src_pid, "tid": 0,
+                           "args": {"trace_id": trace_id}})
+            events.append({"name": name, "cat": "rpc", "ph": "f",
+                           "bp": "e", "id": flow_id, "ts": ts(dst_unix),
+                           "pid": dst_pid, "tid": 0,
+                           "args": {"trace_id": trace_id}})
+
+    payload: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id} | (metadata or {}),
+    }
+    return payload

@@ -1,0 +1,178 @@
+"""Time-series serving metrics: a bounded ring of periodic samples.
+
+The lifetime aggregates on the :class:`~repro.obs.metrics.MetricsRegistry`
+answer "how has the daemon done since it started"; operators diagnosing
+a live daemon need "what is it doing *now*, and for the last few
+minutes". :class:`ServingTimeSeries` closes that gap: a background
+sampler thread snapshots the serving instruments every
+``interval_s`` seconds, converts consecutive snapshots into *windowed*
+rates (req/s, err/s over the interval, not since boot), carries the
+latency quantiles and cache/batch health alongside, and keeps the most
+recent ``capacity`` samples in a ring.
+
+The ring is what the ``timeseries`` RPC and the ``/timeseries`` HTTP
+path serve, what ``repro top`` renders as sparklines, and what the SLO
+tracker (:mod:`repro.obs.slo`) computes error-budget burn from. Its
+JSON payload is pinned by ``schemas/obs_timeseries.schema.json``.
+
+Self-accounting lives under ``obs.ts.*``: ``obs.ts.samples`` counts
+samples taken, ``obs.ts.evicted`` counts samples the full ring dropped.
+Both are plain always-on counters — sampling happens off the request
+path, once per interval, so it costs the hot path nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Samples retained; at the default 1 s interval, 10 minutes of history.
+DEFAULT_CAPACITY = 600
+
+#: Seconds between samples taken by :meth:`ServingTimeSeries.start`.
+DEFAULT_INTERVAL_S = 1.0
+
+#: Version tag of the JSON payload (``schemas/obs_timeseries.schema.json``).
+TIMESERIES_SCHEMA = 1
+
+#: Counter names sampled into every ring entry (value + windowed rate).
+_RATE_COUNTERS = {
+    "requests": "serve.requests",
+    "errors": "serve.requests.errors",
+    "predicts": "serve.requests.predict",
+}
+
+
+class ServingTimeSeries:
+    """Ring of periodic serving-health samples over one registry.
+
+    Args:
+        registry: The metrics registry holding the ``serve.*``
+            instruments (the process-wide one in production; tests pass
+            their own).
+        capacity: Ring size; the oldest sample is evicted once full.
+        interval_s: Cadence of the background sampler started by
+            :meth:`start` (callers may also drive :meth:`sample_now`
+            directly, e.g. tests and the stdio transport).
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 capacity: int = DEFAULT_CAPACITY,
+                 interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        self.registry = registry
+        self.capacity = max(2, int(capacity))
+        self.interval_s = float(interval_s)
+        self._samples: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._prev: dict[str, float] | None = None
+        self._prev_t = 0.0
+        self._taken = registry.counter("obs.ts.samples")
+        self._evicted = registry.counter("obs.ts.evicted")
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_now(self) -> dict[str, Any]:
+        """Take one sample immediately; returns the appended entry."""
+        now = time.time()
+        counters = {key: float(self.registry.counter(name).value)
+                    for key, name in _RATE_COUNTERS.items()}
+        coalesced = float(
+            self.registry.counter("serve.dedup.coalesced").value)
+        cache_served = float(
+            self.registry.counter("serve.cache.served").value)
+        batch_jobs = float(self.registry.counter("serve.batch.jobs").value)
+        batch_flushes = float(
+            self.registry.counter("serve.batch.flushes").value)
+        predict_latency = self.registry.histogram(
+            "serve.predict_s").summary()
+
+        rate_names = {"requests": "req_per_s", "errors": "err_per_s",
+                      "predicts": "predict_per_s"}
+        sample: dict[str, Any] = {"t_unix": now}
+        for key, value in counters.items():
+            sample[key] = int(value)
+        with self._lock:
+            prev, prev_t = self._prev, self._prev_t
+            dt = max(now - prev_t, 1e-9) if prev is not None else 0.0
+            for key, value in counters.items():
+                delta = value - prev[key] if prev is not None else 0.0
+                sample[rate_names[key]] = (round(delta / dt, 6)
+                                           if prev is not None else 0.0)
+            predict_delta = (counters["predicts"] - prev["predicts"]
+                             if prev is not None else counters["predicts"])
+            served_warm = ((coalesced - prev.get("_coalesced", 0.0))
+                           + (cache_served - prev.get("_cache_served", 0.0))
+                           if prev is not None
+                           else coalesced + cache_served)
+            jobs_delta = (batch_jobs - prev.get("_batch_jobs", 0.0)
+                          if prev is not None else batch_jobs)
+            flush_delta = (batch_flushes - prev.get("_batch_flushes", 0.0)
+                           if prev is not None else batch_flushes)
+            sample["cache_hit_rate"] = round(
+                min(1.0, served_warm / predict_delta), 6) \
+                if predict_delta > 0 else 0.0
+            sample["batch_mean"] = round(jobs_delta / flush_delta, 6) \
+                if flush_delta > 0 else 0.0
+            sample["p50_s"] = predict_latency["p50"]
+            sample["p99_s"] = predict_latency["p99"]
+            self._prev = counters | {"_coalesced": coalesced,
+                                     "_cache_served": cache_served,
+                                     "_batch_jobs": batch_jobs,
+                                     "_batch_flushes": batch_flushes}
+            self._prev_t = now
+            if len(self._samples) == self.capacity:
+                self._evicted.increment()
+            self._samples.append(sample)
+        self._taken.increment()
+        return sample
+
+    # ------------------------------------------------------------------
+    # Background sampler
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the periodic sampler thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-obs-sampler",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the sampler thread (idempotent; safe if never started)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_now()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def samples(self) -> list[dict[str, Any]]:
+        """The ring's samples, oldest first."""
+        with self._lock:
+            return list(self._samples)
+
+    def payload(self) -> dict[str, Any]:
+        """JSON payload served by the ``timeseries`` RPC and validated
+        against ``schemas/obs_timeseries.schema.json``."""
+        return {
+            "kind": "obs_timeseries",
+            "schema": TIMESERIES_SCHEMA,
+            "interval_s": self.interval_s,
+            "capacity": self.capacity,
+            "evicted": self._evicted.value,
+            "samples": self.samples(),
+        }

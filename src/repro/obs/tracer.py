@@ -13,21 +13,41 @@ https://ui.perfetto.dev. Engine spans use a fixed synthetic pid
 (:data:`ENGINE_PID`) with one tid per OS thread, so they sit alongside
 the simulated device timeline (pids >= 1000, see
 :mod:`repro.obs.export`) in a single combined trace.
+
+The span buffer is a bounded ring (:data:`DEFAULT_MAX_SPANS`, override
+with ``REPRO_OBS_MAX_SPANS``): a long-lived daemon with tracing enabled
+drops its *oldest* spans rather than growing without limit, and counts
+the drops through :attr:`SpanTracer.on_drop` (wired to the
+``obs.spans.dropped`` registry counter by :mod:`repro.obs`).
+
+Spans recorded while a request context is bound
+(:func:`repro.obs.context.bind_trace`) are tagged with the request's
+``trace_id`` automatically, so one served request is greppable across
+every span it touched on that thread.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 from contextlib import contextmanager
+
+from repro.obs.context import current_trace_id
 
 #: Synthetic process id for the engine's own spans in exported traces.
 #: Simulated devices use pids >= SIM_PID_OFFSET (repro.obs.export), so
 #: the two timelines never collide in one trace file.
 ENGINE_PID = 1
+
+#: Spans retained by a tracer before the oldest are dropped
+#: (``REPRO_OBS_MAX_SPANS`` overrides). Sized so a busy daemon holds
+#: minutes of serving spans in a few tens of MB, never unbounded.
+DEFAULT_MAX_SPANS = int(os.environ.get("REPRO_OBS_MAX_SPANS", "65536"))
 
 _MICROS = 1_000_000.0
 
@@ -54,15 +74,29 @@ class _ThreadState(threading.local):
 
 
 class SpanTracer:
-    """Thread-safe recorder of nested, tagged wall-clock spans."""
+    """Thread-safe recorder of nested, tagged wall-clock spans.
 
-    def __init__(self) -> None:
+    Args:
+        max_spans: Ring capacity; once full, each new span evicts the
+            oldest and bumps :attr:`dropped` (and :attr:`on_drop`, when
+            set). Defaults to :data:`DEFAULT_MAX_SPANS`.
+    """
+
+    def __init__(self, max_spans: int | None = None) -> None:
         self._lock = threading.Lock()
-        self._spans: list[Span] = []
+        self.max_spans = (DEFAULT_MAX_SPANS if max_spans is None
+                          else max(1, int(max_spans)))
+        self._spans: deque[Span] = deque(maxlen=self.max_spans)
+        self._dropped = 0
         self._epoch = time.perf_counter()
+        self._epoch_unix = time.time()
         self._local = _ThreadState()
         self._thread_ids = itertools.count()
         self._thread_names: dict[int, str] = {}
+        #: Called with the number of spans evicted (always 1) each time
+        #: the ring overflows; :mod:`repro.obs` points this at the
+        #: ``obs.spans.dropped`` counter.
+        self.on_drop: Callable[[int], None] | None = None
 
     def _thread_index(self) -> int:
         index = self._local.index
@@ -88,6 +122,10 @@ class SpanTracer:
         index = self._thread_index()
         depth = self._local.depth
         self._local.depth = depth + 1
+        if "trace_id" not in tags:
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                tags["trace_id"] = trace_id
         start = time.perf_counter()
         try:
             yield tags
@@ -99,7 +137,12 @@ class SpanTracer:
                              duration_s=duration, thread=index,
                              depth=depth, tags=tags)
             with self._lock:
+                overflow = len(self._spans) == self.max_spans
+                if overflow:
+                    self._dropped += 1
                 self._spans.append(completed)
+            if overflow and self.on_drop is not None:
+                self.on_drop(1)
 
     @property
     def spans(self) -> list[Span]:
@@ -107,11 +150,27 @@ class SpanTracer:
         with self._lock:
             return list(self._spans)
 
+    @property
+    def dropped(self) -> int:
+        """Spans evicted from the ring since the last :meth:`reset`."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def epoch_unix(self) -> float:
+        """Wall-clock (unix) time of the tracer epoch — what anchors
+        ``start_s`` offsets to a machine-wide timeline when stitching
+        spans from several processes."""
+        with self._lock:
+            return self._epoch_unix
+
     def reset(self) -> None:
         """Drop recorded spans and restart the epoch."""
         with self._lock:
             self._spans.clear()
+            self._dropped = 0
             self._epoch = time.perf_counter()
+            self._epoch_unix = time.time()
 
     # ------------------------------------------------------------------
     # Export

@@ -12,6 +12,13 @@ One client is one session and is **not** thread-safe; concurrent
 callers each open their own (connections are cheap — the expensive
 state lives in the daemon). The CLI's ``repro predict --connect`` and
 the service-throughput benchmark both drive this class.
+
+Telemetry: :meth:`call` accepts a ``trace_id`` that rides in the
+request envelope (see :mod:`repro.serve.protocol`) and records the
+client-side half of the round trip as a wire span in
+:attr:`ServeClient.last_call_spans` — what
+:func:`repro.obs.stitch.stitch_trace` merges with the daemon-side
+spans a traced ``predict`` returns.
 """
 
 from __future__ import annotations
@@ -19,9 +26,11 @@ from __future__ import annotations
 import socket
 import subprocess
 import sys
+import time
 from typing import Any, BinaryIO, Callable, Sequence
 
 from repro.errors import ReproError
+from repro.obs.stitch import wire_span
 from repro.serve import protocol
 from repro.serve.protocol import RemoteError
 
@@ -38,6 +47,9 @@ class ServeClient:
         self._on_close = on_close
         self._next_id = 0
         self._closed = False
+        #: Client-side wire spans of the most recent :meth:`call` made
+        #: with a ``trace_id`` (cleared and refilled per traced call).
+        self.last_call_spans: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # Constructors
@@ -105,11 +117,15 @@ class ServeClient:
         self.close()
 
     def call(self, method: str, params: dict[str, Any] | None = None, *,
-             on_progress: Progress | None = None) -> Any:
+             on_progress: Progress | None = None,
+             trace_id: str | None = None) -> Any:
         """One request/response round trip.
 
         Notifications received before the response are forwarded to
-        ``on_progress`` (their ``params`` payload).
+        ``on_progress`` (their ``params`` payload). When ``trace_id``
+        is given it rides in the request envelope and the round trip is
+        recorded as a ``client.call`` wire span in
+        :attr:`last_call_spans`.
 
         Raises:
             RemoteError: The server answered with a JSON-RPC error.
@@ -119,28 +135,39 @@ class ServeClient:
             raise ReproError("client session is closed")
         self._next_id += 1
         request_id = self._next_id
+        if trace_id is not None:
+            self.last_call_spans = []
+            call_start = time.time()
         self._writer.write(protocol.encode(
-            protocol.request(request_id, method, params)))
+            protocol.request(request_id, method, params,
+                             trace_id=trace_id)))
         self._writer.flush()
-        while True:
-            message = protocol.read_message(self._reader)
-            if message is None:
-                self.close()
-                raise ReproError(
-                    f"server closed the connection during {method!r}")
-            if "method" in message and "id" not in message:
-                if on_progress is not None:
-                    on_progress(message.get("params", {}))
-                continue
-            if message.get("id") != request_id:
-                continue  # stale reply from an aborted earlier call
-            error = message.get("error")
-            if error is not None:
-                raise RemoteError(error.get("code",
-                                            protocol.INTERNAL_ERROR),
-                                  error.get("message", "server error"),
-                                  error.get("data"))
-            return message.get("result")
+        try:
+            while True:
+                message = protocol.read_message(self._reader)
+                if message is None:
+                    self.close()
+                    raise ReproError(
+                        f"server closed the connection during {method!r}")
+                if "method" in message and "id" not in message:
+                    if on_progress is not None:
+                        on_progress(message.get("params", {}))
+                    continue
+                if message.get("id") != request_id:
+                    continue  # stale reply from an aborted earlier call
+                error = message.get("error")
+                if error is not None:
+                    raise RemoteError(error.get("code",
+                                                protocol.INTERNAL_ERROR),
+                                      error.get("message", "server error"),
+                                      error.get("data"))
+                return message.get("result")
+        finally:
+            if trace_id is not None:
+                now = time.time()
+                self.last_call_spans.append(wire_span(
+                    "client.call", "client", call_start, now - call_start,
+                    method=method, trace_id=trace_id))
 
     # ------------------------------------------------------------------
     # Typed calls
@@ -152,9 +179,16 @@ class ServeClient:
     def predict(self, *, description: dict[str, Any] | None = None,
                 preset: str | None = None,
                 granularity: str | None = None,
-                zero_stage: int | None = None) -> dict[str, Any]:
+                zero_stage: int | None = None,
+                trace: bool = False,
+                trace_id: str | None = None) -> dict[str, Any]:
         """Predict one plan (an :class:`InputDescription` dict or a
-        preset key); returns the prediction payload."""
+        preset key); returns the prediction payload.
+
+        With ``trace=True`` the daemon returns its wall-clock spans
+        (and pid) in the payload's ``served`` dict; pair with a
+        ``trace_id`` so the response is stitchable against
+        :attr:`last_call_spans`."""
         params: dict[str, Any] = {}
         if description is not None:
             params["description"] = description
@@ -164,7 +198,9 @@ class ServeClient:
             params["granularity"] = granularity
         if zero_stage is not None:
             params["zero_stage"] = zero_stage
-        return self.call("predict", params)
+        if trace:
+            params["trace"] = True
+        return self.call("predict", params, trace_id=trace_id)
 
     def predict_batch(self, requests: list[dict[str, Any]],
                       ) -> list[dict[str, Any]]:
@@ -181,6 +217,25 @@ class ServeClient:
     def stats(self) -> dict[str, Any]:
         """The daemon's serving metrics (req/s, p50/p99, hit rates)."""
         return self.call("stats")
+
+    def metrics(self, format: str = "snapshot") -> dict[str, Any]:  # noqa: A002
+        """The daemon's full metrics registry (``snapshot`` JSON or
+        ``prometheus`` text exposition)."""
+        return self.call("metrics", {"format": format})
+
+    def healthz(self) -> dict[str, Any]:
+        """Liveness + basic vitals."""
+        return self.call("healthz")
+
+    def timeseries(self, *, sample: bool = False) -> dict[str, Any]:
+        """The daemon's time-series ring (``repro top``'s data source);
+        ``sample=True`` forces a fresh sample first."""
+        params = {"sample": True} if sample else {}
+        return self.call("timeseries", params)
+
+    def slo(self) -> dict[str, Any]:
+        """The daemon's SLO verdict over its configured window."""
+        return self.call("slo")
 
     def shutdown(self) -> None:
         """Ask the daemon to stop accepting and exit."""

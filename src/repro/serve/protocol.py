@@ -14,6 +14,15 @@ so one client implementation drives either. Three message shapes:
   (``dse.progress`` during long sweeps), emitted *before* the final
   response of the request that triggered them.
 
+Requests may additionally carry a ``trace_id`` member — a
+client-minted request/trace identifier (see
+:mod:`repro.obs.context`). The daemon binds it for the request's
+lifetime, tagging every span, access-log line, and dedup/batch
+decision, which is what lets the stitcher join the client-side and
+daemon-side halves of one request into a single Chrome trace. It is an
+extension member in the JSON-RPC 2.0 sense: servers that do not know
+it ignore it.
+
 Every message is one ``\\n``-terminated UTF-8 line of compact JSON
 (requests and results never contain raw newlines). Floats survive the
 round trip exactly — ``json`` serialises via ``repr`` — which is what
@@ -104,12 +113,15 @@ def read_message(stream: BinaryIO) -> dict[str, Any] | None:
 
 
 def request(request_id: int, method: str,
-            params: dict[str, Any] | None = None) -> dict[str, Any]:
-    """Build a request message."""
+            params: dict[str, Any] | None = None, *,
+            trace_id: str | None = None) -> dict[str, Any]:
+    """Build a request message (optionally carrying a trace ID)."""
     message: dict[str, Any] = {"jsonrpc": JSONRPC_VERSION,
                                "id": request_id, "method": method}
     if params is not None:
         message["params"] = params
+    if trace_id is not None:
+        message["trace_id"] = trace_id
     return message
 
 
@@ -150,3 +162,13 @@ def parse_request(message: dict[str, Any]) -> tuple[int | None, str,
     if not isinstance(params, dict):
         raise ProtocolError("request params must be an object")
     return request_id, method, params
+
+
+def trace_id_of(message: dict[str, Any]) -> str | None:
+    """The envelope's ``trace_id``, if present and well-typed.
+
+    A malformed trace ID is dropped rather than rejected — telemetry
+    must never fail a request that would otherwise succeed.
+    """
+    trace_id = message.get("trace_id")
+    return trace_id if isinstance(trace_id, str) and trace_id else None

@@ -36,16 +36,31 @@ response is assembled from the same cached representation on every path
 The service is transport-agnostic: :meth:`dispatch` maps one parsed
 JSON-RPC request to a response, emitting streamed notifications through
 a callback. ``repro.serve.daemon`` wires it to TCP sockets and stdio.
+
+Telemetry (the ``repro.obs`` v2 surface) is request-scoped: the
+envelope's trace ID is bound for the request's lifetime, every
+dedup/batch decision is stamped onto the job it routed to, and a
+``predict`` asked to trace itself (``params["trace"]``) gets its
+daemon-side wall-clock spans back in the response — including the
+micro-batch queueing interval and, for coalesced followers, the
+leader's trace ID — for the stitcher to merge with the client's spans.
+A background :class:`~repro.obs.timeseries.ServingTimeSeries` sampler
+turns the lifetime ``serve.*`` aggregates into bounded req/s and
+latency history, the :class:`~repro.obs.slo.SLOTracker` evaluates the
+latency/error-budget objectives over that ring, and the ``metrics`` /
+``healthz`` / ``timeseries`` / ``slo`` RPCs (plus the optional HTTP
+scrape listener in :mod:`repro.serve.daemon`) expose all of it.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, TextIO
 
 from repro import obs
 from repro.config.description import InputDescription
@@ -58,6 +73,10 @@ from repro.dse.explorer import DesignPoint, DesignSpaceExplorer
 from repro.dse.space import SearchSpace
 from repro.errors import ConfigError, InfeasibleConfigError, ReproError
 from repro.graph.builder import Granularity, structure_cache_stats
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.obs.stitch import wire_span
+from repro.obs.timeseries import ServingTimeSeries
 from repro.serve import protocol
 from repro.sim.estimator import VTrain
 
@@ -100,6 +119,19 @@ class _Job:
     done: threading.Event = field(default_factory=threading.Event)
     point: DesignPoint | None = None
     error: BaseException | None = None
+    #: Trace ID of the request that admitted this job (the *leader*);
+    #: coalesced followers read it to name the computation that served
+    #: them.
+    trace_id: str | None = None
+    #: Wall-clock instants of the job's life: admission into the
+    #: micro-batch queue, start of the flush that executed it, and
+    #: completion. ``exec_start_unix - admitted_unix`` is the
+    #: micro-batch queueing interval a stitched trace renders.
+    admitted_unix: float = 0.0
+    exec_start_unix: float | None = None
+    done_unix: float | None = None
+    #: Size of the flush this job executed in.
+    batch_size: int = 0
 
 
 class PredictionService:
@@ -114,18 +146,33 @@ class PredictionService:
         max_batch: Jobs per flush.
         default_granularity: Granularity for requests that do not name
             one.
+        sample_interval_s: Cadence of the background time-series
+            sampler; ``0`` disables the thread (the ``timeseries`` RPC
+            can still sample on demand).
+        timeseries_capacity: Samples kept in the time-series ring.
+        slo: Serving objectives the SLO tracker evaluates (defaults to
+            :class:`~repro.obs.slo.SLOConfig`'s defaults).
+        access_log: Writable text stream receiving one JSON line per
+            dispatched request (method, request/trace IDs, status,
+            latency); the caller owns the stream's lifetime.
     """
 
     def __init__(self, *, cache: PredictionCache | None = None,
                  batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
                  max_batch: int = DEFAULT_MAX_BATCH,
                  default_granularity: Granularity = Granularity.OPERATOR,
+                 sample_interval_s: float = 1.0,
+                 timeseries_capacity: int | None = None,
+                 slo: SLOConfig | None = None,
+                 access_log: TextIO | None = None,
                  ) -> None:
         self.cache = cache if cache is not None else PredictionCache()
         self.batch_window_s = batch_window_s
         self.max_batch = max_batch
         self.default_granularity = default_granularity
         self.started_at = time.monotonic()
+        self._access_log = access_log
+        self._access_log_lock = threading.Lock()
 
         self._vtrains: dict[str, VTrain] = {}
         self._vtrain_lock = threading.Lock()
@@ -157,11 +204,26 @@ class PredictionService:
         self._predict_latency = m.histogram("serve.predict_s")
         self._batch_size = m.histogram("serve.batch.size")
 
+        # Time-series + SLO: history and objectives over the always-on
+        # serve.* instruments above. The sampler runs off the request
+        # path; disabling it (interval 0) leaves on-demand sampling.
+        ts_kwargs: dict[str, Any] = {}
+        if timeseries_capacity is not None:
+            ts_kwargs["capacity"] = timeseries_capacity
+        if sample_interval_s > 0:
+            ts_kwargs["interval_s"] = sample_interval_s
+        self.timeseries = ServingTimeSeries(m, **ts_kwargs)
+        self.slo = SLOTracker(slo if slo is not None else SLOConfig(),
+                              registry=m)
+        if sample_interval_s > 0:
+            self.timeseries.start()
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the batcher after draining queued jobs."""
+        """Stop the sampler and the batcher (after draining its queue)."""
+        self.timeseries.stop()
         with self._wake:
             self._closed = True
             self._wake.notify_all()
@@ -210,27 +272,81 @@ class PredictionService:
     # Predict: dedup + batch admission
     # ------------------------------------------------------------------
     def predict(self, params: dict[str, Any]) -> dict[str, Any]:
-        """Serve one prediction (blocking; safe from any thread)."""
+        """Serve one prediction (blocking; safe from any thread).
+
+        When ``params["trace"]`` is truthy, the response's ``served``
+        section additionally carries the daemon's wall-clock spans for
+        this request (dispatch, micro-batch queueing, batched
+        execution) and the daemon pid, ready for
+        :func:`repro.obs.stitch.stitch_trace`.
+        """
         description, granularity, zero_stage = self._parse_predict(params)
+        trace = bool(params.get("trace"))
+        trace_id = obs.current_trace_id() or protocol.trace_id_of(params)
+        if trace and trace_id is None:
+            trace_id = obs.new_trace_id()  # daemon-minted fallback
         self._predicts.increment()
         started = time.perf_counter()
+        started_unix = time.time()
         point, job, source = self._admit(description, granularity,
-                                         zero_stage)
+                                         zero_stage, trace_id=trace_id)
         if job is not None:
             job.done.wait()
             if job.error is not None:
                 raise job.error
             point = job.point
         result = self._result_from_point(description, point, source)
+        served = result["served"]
+        if trace_id is not None:
+            served["trace_id"] = trace_id
+        if job is not None and job.trace_id is not None:
+            served["leader_trace_id"] = job.trace_id
+        if trace:
+            served["pid"] = os.getpid()
+            served["spans"] = self._predict_spans(trace_id, source, job,
+                                                  started_unix)
         self._predict_latency.observe(time.perf_counter() - started)
         return result
 
+    @staticmethod
+    def _predict_spans(trace_id: str | None, source: str,
+                       job: _Job | None,
+                       started_unix: float) -> list[dict[str, Any]]:
+        """The daemon-side wire spans of one traced predict.
+
+        The outer ``serve.predict`` span covers the whole server-side
+        handling; jobs that went through the batcher additionally
+        expose the micro-batch queueing interval and the batched
+        execution (stamped with the flush size and the leader's trace
+        ID — for a coalesced follower these are the *leader's* job
+        timestamps, which is exactly what "who served me" means).
+        """
+        now = time.time()
+        spans = [wire_span("serve.predict", "serve", started_unix,
+                           now - started_unix, trace_id=trace_id,
+                           source=source)]
+        if job is not None and job.exec_start_unix is not None:
+            spans.append(wire_span(
+                "serve.batch.queued", "serve", job.admitted_unix,
+                max(job.exec_start_unix - job.admitted_unix, 0.0),
+                trace_id=trace_id, leader_trace_id=job.trace_id))
+            done_unix = job.done_unix or now
+            spans.append(wire_span(
+                "serve.batch.execute", "serve", job.exec_start_unix,
+                max(done_unix - job.exec_start_unix, 0.0),
+                trace_id=trace_id, leader_trace_id=job.trace_id,
+                batch_size=job.batch_size))
+        return spans
+
     def _admit(self, description: InputDescription,
                granularity: Granularity, zero_stage: int,
+               trace_id: str | None = None,
                ) -> tuple[DesignPoint | None, _Job | None, str]:
         """Route one prediction to the cache, an in-flight job, or a
         fresh job; returns ``(cached_point, job_to_wait_on, source)``
-        — exactly one of the first two is non-``None``."""
+        — exactly one of the first two is non-``None``. A fresh job is
+        stamped with the admitting request's ``trace_id`` (it becomes
+        the *leader* that coalesced followers point at)."""
         key = fingerprint(description.model, description.plan,
                           description.training, description.system,
                           granularity, zero_stage=zero_stage)
@@ -244,7 +360,8 @@ class PredictionService:
                 self._dedup_coalesced.increment()
                 return None, job, "coalesced"
             job = _Job(description=description, granularity=granularity,
-                       zero_stage=zero_stage, key=key)
+                       zero_stage=zero_stage, key=key,
+                       trace_id=trace_id, admitted_unix=time.time())
             self._inflight[key] = job
             self._dedup_leaders.increment()
         with self._wake:
@@ -306,6 +423,10 @@ class PredictionService:
         self._batch_flushes.increment()
         self._batch_jobs.increment(len(jobs))
         self._batch_size.observe(len(jobs))
+        flush_start = time.time()
+        for job in jobs:
+            job.exec_start_unix = flush_start
+            job.batch_size = len(jobs)
         groups: dict[str, list[_Job]] = {}
         for job in jobs:
             group_key = json.dumps(
@@ -328,43 +449,55 @@ class PredictionService:
         model = jobs[0].description.model
         training = jobs[0].description.training
         try:
-            vtrain = self._vtrain_for(jobs[0].description,
-                                      jobs[0].granularity,
-                                      jobs[0].zero_stage)
-            survivors: list[_Job] = []
-            entries = []
-            for job in jobs:
-                try:
-                    job.description.validate()
-                    footprint, prepared = vtrain.prepare_checked(
-                        model, job.description.plan, training)
-                except (InfeasibleConfigError, ConfigError) as exc:
-                    job.point = DesignPoint(plan=job.description.plan,
-                                            feasible=False,
-                                            infeasible_reason=str(exc))
-                    continue
-                survivors.append(job)
-                entries.append((job.description.plan, footprint, prepared))
-            if survivors:
-                predictions = vtrain.predict_prepared(model, training,
-                                                      entries)
-                for job, prediction in zip(survivors, predictions):
-                    job.point = DesignPoint(
-                        plan=job.description.plan, feasible=True,
-                        iteration_time=prediction.iteration_time,
-                        utilization=prediction.gpu_compute_utilization,
-                        memory_gib=prediction.memory_per_gpu / GIB)
+            group_span = obs.span(
+                "serve.batch.execute_group", "serve", jobs=len(jobs),
+                trace_ids=[job.trace_id for job in jobs
+                           if job.trace_id is not None])
+            with group_span:
+                self._execute_group_inner(jobs, model, training)
         except BaseException as exc:  # noqa: BLE001 - published to waiters
             for job in jobs:
                 if job.point is None:
                     job.error = exc
         finally:
+            done_unix = time.time()
             for job in jobs:
+                job.done_unix = done_unix
                 if job.point is not None:
                     self.cache.put(job.key, job.point)
                 with self._inflight_lock:
                     self._inflight.pop(job.key, None)
                 job.done.set()
+
+    def _execute_group_inner(self, jobs: list[_Job], model: ModelConfig,
+                             training: TrainingConfig) -> None:
+        """Predict one group's jobs (exceptions bubble to the caller)."""
+        vtrain = self._vtrain_for(jobs[0].description,
+                                  jobs[0].granularity,
+                                  jobs[0].zero_stage)
+        survivors: list[_Job] = []
+        entries = []
+        for job in jobs:
+            try:
+                job.description.validate()
+                footprint, prepared = vtrain.prepare_checked(
+                    model, job.description.plan, training)
+            except (InfeasibleConfigError, ConfigError) as exc:
+                job.point = DesignPoint(plan=job.description.plan,
+                                        feasible=False,
+                                        infeasible_reason=str(exc))
+                continue
+            survivors.append(job)
+            entries.append((job.description.plan, footprint, prepared))
+        if survivors:
+            predictions = vtrain.predict_prepared(model, training,
+                                                  entries)
+            for job, prediction in zip(survivors, predictions):
+                job.point = DesignPoint(
+                    plan=job.description.plan, feasible=True,
+                    iteration_time=prediction.iteration_time,
+                    utilization=prediction.gpu_compute_utilization,
+                    memory_gib=prediction.memory_per_gpu / GIB)
 
     # ------------------------------------------------------------------
     # predict_batch
@@ -518,60 +651,154 @@ class PredictionService:
             "prediction_cache": self.cache.stats,
             "structure_cache": structure_cache_stats(),
             "resident_simulators": len(self._vtrains),
+            "slo": self.slo_status(),
         }
+
+    # ------------------------------------------------------------------
+    # Telemetry endpoints
+    # ------------------------------------------------------------------
+    def metrics_payload(self, params: dict[str, Any] | None = None,
+                        ) -> dict[str, Any]:
+        """The ``metrics`` RPC: the full registry, as a JSON snapshot
+        (default) or Prometheus text exposition."""
+        fmt = str((params or {}).get("format", "snapshot"))
+        # Refresh the serve.slo.* gauges so a Prometheus-only consumer
+        # (nothing ever calling the slo RPC) still scrapes live values.
+        self.slo_status()
+        if fmt == "snapshot":
+            return {"format": fmt, "snapshot": obs.snapshot()}
+        if fmt == "prometheus":
+            return {"format": fmt,
+                    "content_type": PROMETHEUS_CONTENT_TYPE,
+                    "text": render_prometheus(obs.snapshot())}
+        raise ConfigError(
+            f"unknown metrics format {fmt!r} (snapshot or prometheus)")
+
+    def healthz(self) -> dict[str, Any]:
+        """Liveness + basic vitals (also ``GET /healthz`` on the HTTP
+        scrape listener)."""
+        return {"ok": True,
+                "uptime_s": time.monotonic() - self.started_at,
+                "requests": self._requests.value,
+                "resident_simulators": len(self._vtrains)}
+
+    def timeseries_payload(self, params: dict[str, Any] | None = None,
+                           ) -> dict[str, Any]:
+        """The ``timeseries`` RPC: the sampler ring (``repro top``'s
+        data source). ``params["sample"]`` forces a fresh sample first
+        — useful when the background sampler is disabled or the caller
+        wants zero staleness."""
+        if (params or {}).get("sample") or not self.timeseries.samples():
+            self.timeseries.sample_now()
+        return self.timeseries.payload()
+
+    def slo_status(self) -> dict[str, Any]:
+        """The SLO verdict over the current time-series window."""
+        return self.slo.evaluate(self.timeseries.samples())
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def dispatch(self, message: dict[str, Any],
-                 notify: Notify) -> tuple[dict[str, Any], bool]:
+    def dispatch(self, message: dict[str, Any], notify: Notify,
+                 peer: str | None = None) -> tuple[dict[str, Any], bool]:
         """Answer one JSON-RPC request.
 
         Returns ``(response, shutdown_requested)``; transports write
         the response and tear themselves down when the flag is set.
         Never raises — every failure becomes a JSON-RPC error response.
+
+        The envelope's ``trace_id`` (if any) is bound for the request's
+        lifetime, so every span, metric label, and dedup decision the
+        handler makes is attributable to the originating client call;
+        ``peer`` (the transport's remote address) rides along in the
+        access log only.
         """
         try:
             request_id, method, params = protocol.parse_request(message)
         except protocol.ProtocolError as exc:
             self._request_errors.increment()
-            return protocol.error_response(
-                message.get("id"), protocol.INVALID_REQUEST, str(exc)), False
+            response = protocol.error_response(
+                message.get("id"), protocol.INVALID_REQUEST, str(exc))
+            self._log_access(message.get("method"), message.get("id"),
+                             protocol.trace_id_of(message), response,
+                             0.0, peer)
+            return response, False
         self._requests.increment()
         started = time.perf_counter()
+        trace_id = protocol.trace_id_of(message)
         shutdown = False
-        try:
-            if method == "ping":
-                result: Any = {"ok": True}
-            elif method == "predict":
-                result = self.predict(params)
-            elif method == "predict_batch":
-                result = self.predict_batch(params)
-            elif method == "dse":
-                result = self.dse(params, notify)
-            elif method == "stats":
-                result = self.stats()
-            elif method == "shutdown":
-                result = {"ok": True}
-                shutdown = True
-            else:
+        with obs.bind_trace(trace_id):
+            try:
+                if method == "ping":
+                    result: Any = {"ok": True}
+                elif method == "predict":
+                    result = self.predict(params)
+                elif method == "predict_batch":
+                    result = self.predict_batch(params)
+                elif method == "dse":
+                    result = self.dse(params, notify)
+                elif method == "stats":
+                    result = self.stats()
+                elif method == "metrics":
+                    result = self.metrics_payload(params)
+                elif method == "healthz":
+                    result = self.healthz()
+                elif method == "timeseries":
+                    result = self.timeseries_payload(params)
+                elif method == "slo":
+                    result = self.slo_status()
+                elif method == "shutdown":
+                    result = {"ok": True}
+                    shutdown = True
+                else:
+                    self._request_errors.increment()
+                    response = protocol.error_response(
+                        request_id, protocol.METHOD_NOT_FOUND,
+                        f"unknown method {method!r}")
+                    self._log_access(method, request_id, trace_id, response,
+                                     time.perf_counter() - started, peer)
+                    return response, False
+                response = protocol.response(request_id, result)
+            except InfeasibleConfigError as exc:
                 self._request_errors.increment()
-                return protocol.error_response(
-                    request_id, protocol.METHOD_NOT_FOUND,
-                    f"unknown method {method!r}"), False
-            response = protocol.response(request_id, result)
-        except InfeasibleConfigError as exc:
-            self._request_errors.increment()
-            response = protocol.error_response(
-                request_id, protocol.INFEASIBLE, str(exc))
-        except (ConfigError, ReproError) as exc:
-            self._request_errors.increment()
-            response = protocol.error_response(
-                request_id, protocol.INVALID_PARAMS, str(exc))
-        except Exception as exc:  # noqa: BLE001 - answered, not raised
-            self._request_errors.increment()
-            response = protocol.error_response(
-                request_id, protocol.INTERNAL_ERROR,
-                f"{type(exc).__name__}: {exc}")
-        self._request_latency.observe(time.perf_counter() - started)
+                response = protocol.error_response(
+                    request_id, protocol.INFEASIBLE, str(exc))
+            except (ConfigError, ReproError) as exc:
+                self._request_errors.increment()
+                response = protocol.error_response(
+                    request_id, protocol.INVALID_PARAMS, str(exc))
+            except Exception as exc:  # noqa: BLE001 - answered, not raised
+                self._request_errors.increment()
+                response = protocol.error_response(
+                    request_id, protocol.INTERNAL_ERROR,
+                    f"{type(exc).__name__}: {exc}")
+        elapsed = time.perf_counter() - started
+        self._request_latency.observe(elapsed)
+        self._log_access(method, request_id, trace_id, response,
+                         elapsed, peer)
         return response, shutdown
+
+    def _log_access(self, method: Any, request_id: Any,
+                    trace_id: str | None, response: dict[str, Any],
+                    elapsed_s: float, peer: str | None) -> None:
+        """One structured JSON access-log line per answered request."""
+        if self._access_log is None:
+            return
+        error = response.get("error")
+        record = {
+            "t_unix": time.time(),
+            "method": method,
+            "id": request_id,
+            "trace_id": trace_id,
+            "status": "error" if error else "ok",
+            "code": error["code"] if error else 0,
+            "elapsed_s": round(elapsed_s, 9),
+            "peer": peer,
+        }
+        line = json.dumps(record, separators=(",", ":"))
+        try:
+            with self._access_log_lock:
+                self._access_log.write(line + "\n")
+                self._access_log.flush()
+        except (OSError, ValueError):
+            pass  # a torn log sink must never fail the request
