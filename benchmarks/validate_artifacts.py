@@ -13,6 +13,8 @@ a Chrome trace (``schemas/chrome_trace.schema.json``); a
 (``schemas/bench_service_throughput.schema.json``); a
 ``benchmark: serve_telemetry`` marker means the telemetry-overhead
 store (``schemas/bench_serve_telemetry.schema.json``); a
+``benchmark: inference_dse`` marker means the serving-DSE store
+(``schemas/bench_inference_dse.schema.json``); a
 ``schema``/``benchmarks`` pair means the perf-trajectory store
 (``schemas/bench_sim_speed.schema.json``) — and validated with
 :mod:`repro.obs.schema`. Exits non-zero on the first invalid file, so
@@ -45,6 +47,8 @@ def schema_for(payload: object) -> Path:
             return SCHEMA_DIR / "bench_service_throughput.schema.json"
         if payload.get("benchmark") == "serve_telemetry":
             return SCHEMA_DIR / "bench_serve_telemetry.schema.json"
+        if payload.get("benchmark") == "inference_dse":
+            return SCHEMA_DIR / "bench_inference_dse.schema.json"
         if "schema" in payload and "benchmarks" in payload:
             return SCHEMA_DIR / "bench_sim_speed.schema.json"
     raise SchemaError("payload matches no known artifact shape "

@@ -90,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--granularity", default="operator",
                          choices=[g.value for g in Granularity],
                          help="execution-graph detail level")
+    _add_workload_arguments(predict)
     predict.add_argument("--no-memory-check", action="store_true",
                          help="skip the per-GPU memory feasibility check")
     predict.add_argument("--timing", action="store_true",
@@ -175,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only plans using exactly this many GPUs")
     budget.add_argument("--max-gpus", type=int,
                         help="plans using at most this many GPUs")
+    _add_workload_arguments(dse)
     dse.add_argument("--global-batch", type=int, default=64,
                      help="global batch size in sequences (default: 64)")
     dse.add_argument("--total-tokens", type=int, default=0,
@@ -280,6 +282,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_workload_arguments(command: argparse.ArgumentParser) -> None:
+    """Shared ``--workload`` flag family for predict and dse."""
+    command.add_argument("--workload", default="training",
+                         choices=["training", "inference"],
+                         help="what the plan runs: a training iteration "
+                              "(default) or a static serving batch "
+                              "(prefill + decode phase graphs)")
+    command.add_argument("--batch-size", type=int, default=None, metavar="N",
+                         help="inference: concurrent requests per replica "
+                              "(default: 32)")
+    command.add_argument("--prompt-len", type=int, default=None, metavar="L",
+                         help="inference: prompt tokens per request "
+                              "(default: 512)")
+    command.add_argument("--gen-len", type=int, default=None, metavar="G",
+                         help="inference: generated tokens per request "
+                              "(default: 128)")
+    command.add_argument("--continuous-batching", action="store_true",
+                         help="inference: model vLLM-style continuous "
+                              "batching (decode attends the mean, not the "
+                              "max, KV length)")
+
+
+def _workload_from_args(args: argparse.Namespace) -> "InferenceWorkload | None":
+    """The inference workload the flags describe, or None for training."""
+    from repro.workload import InferenceWorkload
+
+    inference_flags = (args.batch_size, args.prompt_len, args.gen_len)
+    if args.workload != "inference":
+        if any(flag is not None for flag in inference_flags) \
+                or args.continuous_batching:
+            raise ReproError(
+                "--batch-size/--prompt-len/--gen-len/--continuous-batching "
+                "require --workload inference")
+        return None
+    return InferenceWorkload(
+        batch_size=args.batch_size if args.batch_size is not None else 32,
+        prompt_len=args.prompt_len if args.prompt_len is not None else 512,
+        gen_len=args.gen_len if args.gen_len is not None else 128,
+        continuous_batching=args.continuous_batching)
+
+
 def _preset_keys() -> list[str]:
     return sorted(name.lower().replace(" ", "-") for name in MODEL_ZOO)
 
@@ -324,18 +367,21 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     else:
         description = InputDescription.load(args.description)
     description.validate()
+    workload = _workload_from_args(args)
     if args.connect:
         if args.timing:
             raise ReproError(
                 "--timing runs in-process; it is not available with "
                 "--connect (the daemon's `stats` method reports "
                 "serving latency)")
-        return _predict_connected(args, description)
+        return _predict_connected(args, description, workload)
     if args.trace:
         obs.enable()
     vtrain = VTrain(description.system,
                     granularity=Granularity(args.granularity),
                     check_memory_feasibility=not args.no_memory_check)
+    if workload is not None:
+        return _predict_inference(args, description, workload, vtrain)
     prediction = vtrain.predict(description.model, description.plan,
                                 description.training,
                                 record_timeline=args.trace is not None)
@@ -377,6 +423,51 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _predict_inference(args: argparse.Namespace,
+                       description: InputDescription,
+                       workload, vtrain: VTrain) -> int:
+    """``predict --workload inference``: serving latency report."""
+    if args.timing:
+        raise ReproError(
+            "--timing breaks down the training predict path; inference "
+            "predictions replay two phase graphs and do not report it")
+    prediction = vtrain.predict_inference(
+        description.model, description.plan, workload,
+        record_timeline=args.trace is not None)
+    print(f"model            : {description.model.describe()}")
+    print(f"system           : {description.system.describe()}")
+    print(f"plan             : {description.plan.describe()}")
+    print(f"workload         : inference batch={workload.batch_size} "
+          f"prompt={workload.prompt_len} gen={workload.gen_len}"
+          f"{' continuous' if workload.continuous_batching else ''}")
+    print(f"TTFT (prefill)   : {prediction.prefill_time * 1e3:.2f} ms")
+    print(f"TPOT (decode)    : {prediction.decode_step_time * 1e3:.3f} ms")
+    print(f"decode tokens/s  : {prediction.tokens_per_second:,.0f} "
+          f"({prediction.num_replicas} replica"
+          f"{'s' if prediction.num_replicas != 1 else ''})")
+    print(f"request latency  : {prediction.request_latency * 1e3:.1f} ms")
+    print(f"memory per GPU   : {prediction.memory_per_gpu / GIB:.2f} GiB")
+    rate = DEFAULT_PRICING.dollars_per_hour(prediction.num_gpus)
+    print(f"cost             : "
+          f"${prediction.cost_per_million_tokens(rate):.3f}/Mtok "
+          f"(${rate:,.0f}/hour)")
+    if args.trace:
+        payload = combined_trace(
+            prediction.decode_simulation,
+            engine_events=obs.tracer.chrome_trace(),
+            metadata={"model": description.model.describe(),
+                      "plan": description.plan.describe(),
+                      "granularity": args.granularity,
+                      "workload": "inference",
+                      "phase": "decode",
+                      "ttft_s": prediction.prefill_time})
+        write_trace(args.trace, payload)
+        print(f"trace            : wrote "
+              f"{len(payload['traceEvents'])} decode-phase events to "
+              f"{args.trace}")
+    return 0
+
+
 def _parse_endpoint(spec: str) -> tuple[str, int]:
     """Parse a ``HOST:PORT`` endpoint spec."""
     host, separator, port = spec.rpartition(":")
@@ -386,8 +477,14 @@ def _parse_endpoint(spec: str) -> tuple[str, int]:
 
 
 def _predict_connected(args: argparse.Namespace,
-                       description: InputDescription) -> int:
-    """``predict --connect``: serve the request from a running daemon."""
+                       description: InputDescription,
+                       workload=None) -> int:
+    """``predict --connect``: serve the request from a running daemon.
+
+    An inference workload's serialised envelope is forwarded to the
+    daemon unchanged — the daemon's parser is the only thing that
+    interprets it.
+    """
     import os
 
     from repro.obs.stitch import stitch_trace
@@ -399,6 +496,8 @@ def _predict_connected(args: argparse.Namespace,
         payload = client.predict(description=description.to_dict(),
                                  granularity=args.granularity,
                                  zero_stage=None,
+                                 workload=(workload.to_dict()
+                                           if workload is not None else None),
                                  trace=args.trace is not None,
                                  trace_id=trace_id)
         client_spans = list(client.last_call_spans)
@@ -407,10 +506,23 @@ def _predict_connected(args: argparse.Namespace,
     print(f"plan             : {description.plan.describe()}")
     print(f"served by        : {host}:{port} "
           f"({payload['served']['source']})")
-    print(f"iteration time   : {payload['iteration_time']:.4f} s")
-    print(f"utilization      : "
-          f"{100 * payload['gpu_compute_utilization']:.2f} %")
-    print(f"memory per GPU   : {payload['memory_per_gpu'] / GIB:.2f} GiB")
+    if payload.get("workload") == "inference":
+        print(f"workload         : inference batch={workload.batch_size} "
+              f"prompt={workload.prompt_len} gen={workload.gen_len}"
+              f"{' continuous' if workload.continuous_batching else ''}")
+        print(f"TTFT (prefill)   : {payload['ttft_s'] * 1e3:.2f} ms")
+        print(f"TPOT (decode)    : {payload['tpot_s'] * 1e3:.3f} ms")
+        print(f"decode tokens/s  : {payload['tokens_per_s']:,.0f} "
+              f"({payload['num_replicas']} replica"
+              f"{'s' if payload['num_replicas'] != 1 else ''})")
+        print(f"memory per GPU   : "
+              f"{payload['memory_per_gpu'] / GIB:.2f} GiB")
+    else:
+        print(f"iteration time   : {payload['iteration_time']:.4f} s")
+        print(f"utilization      : "
+              f"{100 * payload['gpu_compute_utilization']:.2f} %")
+        print(f"memory per GPU   : "
+              f"{payload['memory_per_gpu'] / GIB:.2f} GiB")
     if args.trace:
         served = payload["served"]
         stitched = stitch_trace(
@@ -427,7 +539,7 @@ def _predict_connected(args: argparse.Namespace,
         print(f"trace            : wrote "
               f"{len(stitched['traceEvents'])} stitched events to "
               f"{args.trace} (trace id {trace_id})")
-    if description.training.total_tokens:
+    if workload is None and description.training.total_tokens:
         iterations = description.training.num_iterations(description.model)
         total_seconds = payload["iteration_time"] * iterations
         num_gpus = description.plan.total_gpus
@@ -505,12 +617,16 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     NetworkSpec.parse(args.network)  # reject bad specs before sweeping
     if args.metrics is not None:
         obs.enable()
+    workload = _workload_from_args(args)
     training = TrainingConfig(global_batch_size=args.global_batch,
                               total_tokens=args.total_tokens)
     space = SearchSpace(max_tensor=args.max_tensor, max_data=args.max_data,
                         max_pipeline=args.max_pipeline,
                         micro_batch_sizes=tuple(args.micro_batches),
                         virtual_stages=tuple(args.virtual_stages))
+    if workload is not None and tuple(args.virtual_stages) != (1,):
+        raise ReproError("--virtual-stages applies to training sweeps only "
+                         "(inference phase graphs are plain pipelines)")
     cache = (PredictionCache.load(args.cache)
              if args.cache and args.cache.exists() else PredictionCache())
 
@@ -525,13 +641,16 @@ def _cmd_dse(args: argparse.Namespace) -> int:
                                    gpus_per_node=args.gpus_per_node,
                                    granularity=Granularity(args.granularity),
                                    network=args.network,
-                                   zero_stage=args.zero_stage)
+                                   zero_stage=args.zero_stage,
+                                   workload=workload)
     result = explorer.explore(space=space, num_gpus=args.num_gpus,
                               max_gpus=args.max_gpus, workers=args.workers,
                               cache=cache, checkpoint_path=args.checkpoint,
                               progress=report)
     if args.cache:
         cache.save(args.cache)
+    if workload is not None:
+        return _report_serving_dse(args, model, workload, result, cache)
 
     print(f"model            : {model.describe()}")
     print(f"search space     : {len(result.points)} plans "
@@ -559,6 +678,51 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         print("no feasible plans in the requested space")
     if args.csv:
         save_csv(result, args.csv)
+        print(f"\nwrote {result.num_feasible} feasible points to {args.csv}")
+    if args.metrics is not None:
+        target = None if args.metrics == Path("") else args.metrics
+        written = obs.save_snapshot(target)
+        print()
+        print("observability snapshot:")
+        print(obs.format_snapshot(obs.snapshot()))
+        print(f"saved metrics    : {written}")
+    return 0
+
+
+def _report_serving_dse(args: argparse.Namespace, model: ModelConfig,
+                        workload, result, cache: PredictionCache) -> int:
+    """Print the serving-sweep report: Pareto table over throughput
+    and cost per million output tokens."""
+    from repro.dse.report import save_serving_csv, to_serving_markdown
+
+    print(f"model            : {model.describe()}")
+    print(f"workload         : inference batch={workload.batch_size} "
+          f"prompt={workload.prompt_len} gen={workload.gen_len}"
+          f"{' continuous' if workload.continuous_batching else ''}")
+    print(f"search space     : {len(result.points)} plans "
+          f"({result.num_feasible} feasible)")
+    print(f"cache            : {cache.hits} hits, {cache.misses} misses, "
+          f"{len(cache)} entries")
+    if result.num_feasible:
+        frontier = result.serving_pareto_frontier()
+        best = result.best_by_throughput()
+        cheapest = min(result.feasible_points,
+                       key=lambda p: p.cost_per_million_tokens())
+        print(f"highest tokens/s : {best.plan.describe()} — "
+              f"{best.tokens_per_s:,.0f} tok/s on {best.num_gpus} GPUs")
+        print(f"cheapest $/Mtok  : {cheapest.plan.describe()} — "
+              f"${cheapest.cost_per_million_tokens():.3f}/Mtok on "
+              f"{cheapest.num_gpus} GPUs")
+        print(f"pareto frontier  : {len(frontier)} plans "
+              f"(tokens/s vs $/Mtok)")
+        print()
+        print(f"top {args.top} by {args.sort}:")
+        sort_by = {"cost": "cost", "time": "latency"}[args.sort]
+        print(to_serving_markdown(result, top=args.top, sort_by=sort_by))
+    else:
+        print("no feasible serving plans in the requested space")
+    if args.csv:
+        save_serving_csv(result, args.csv)
         print(f"\nwrote {result.num_feasible} feasible points to {args.csv}")
     if args.metrics is not None:
         target = None if args.metrics == Path("") else args.metrics

@@ -56,8 +56,9 @@ CACHE_FORMAT_VERSION = 1
 
 
 def fingerprint(model: ModelConfig, plan: ParallelismConfig,
-                training: TrainingConfig, system: SystemConfig,
-                granularity: Granularity, *, zero_stage: int = 1) -> str:
+                training: TrainingConfig | None, system: SystemConfig,
+                granularity: Granularity, *, zero_stage: int = 1,
+                workload=None) -> str:
     """Canonical cache key for one prediction.
 
     The key hashes the *complete* simulation input — model, plan,
@@ -68,14 +69,25 @@ def fingerprint(model: ModelConfig, plan: ParallelismConfig,
     identical keys regardless of construction order. The default ZeRO
     stage (1) is omitted from the payload, so caches written before the
     stage was configurable stay valid.
+
+    Serving sweeps pass an :class:`~repro.workload.InferenceWorkload`
+    as ``workload`` (and may pass ``training=None``): the workload's
+    serialised form replaces the training recipe in the payload.
+    Training predictions never add a ``workload`` key, so every
+    pre-workload-abstraction cache key remains byte-identical.
     """
     payload = {
         "model": model.to_dict(),
         "plan": plan.to_dict(),
-        "training": training.to_dict(),
         "system": system.to_dict(),
         "granularity": granularity.value,
     }
+    if training is not None:
+        payload["training"] = training.to_dict()
+    if workload is not None:
+        payload["workload"] = workload.to_dict()
+    if training is None and workload is None:
+        raise ConfigError("fingerprint needs a training recipe or workload")
     if zero_stage != 1:
         payload["zero_stage"] = zero_stage
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

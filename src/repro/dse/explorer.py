@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, TYPE_CHECKING
 
 from repro import obs
@@ -21,7 +22,8 @@ from repro.config.system import SystemConfig, multi_node
 from repro.cost.pricing import DEFAULT_PRICING, PricingModel
 from repro.errors import ConfigError, InfeasibleConfigError
 from repro.graph.builder import Granularity
-from repro.dse.space import SearchSpace, enumerate_plans
+from repro.dse.space import (SearchSpace, enumerate_plans,
+                             enumerate_serving_plans)
 from repro.sim.estimator import VTrain
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -35,7 +37,16 @@ _MAX_EVAL_BATCH = 64
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One evaluated plan in the design space."""
+    """One evaluated plan in the design space.
+
+    Training rows (the default, ``workload == "training"``) populate
+    ``iteration_time``/``utilization``; serving rows
+    (``workload == "inference"``) additionally carry the serving
+    metrics — ``ttft_s`` (time to first token), ``tpot_s`` (time per
+    output token, also mirrored into ``iteration_time`` so generic
+    time-sorted views stay meaningful), and ``tokens_per_s`` (aggregate
+    output throughput across the plan's ``d`` replicas).
+    """
 
     plan: ParallelismConfig
     feasible: bool
@@ -43,6 +54,10 @@ class DesignPoint:
     utilization: float = 0.0
     memory_gib: float = 0.0
     infeasible_reason: str = ""
+    workload: str = "training"
+    tokens_per_s: float = 0.0
+    ttft_s: float = 0.0
+    tpot_s: float = 0.0
 
     @property
     def num_gpus(self) -> int:
@@ -56,13 +71,25 @@ class DesignPoint:
             return float("inf")
         return pricing.cost(self.num_gpus, self.iteration_time)
 
+    def cost_per_million_tokens(
+            self, pricing: PricingModel = DEFAULT_PRICING) -> float:
+        """Serving cost per million output tokens (inference rows)."""
+        if not self.feasible or self.tokens_per_s <= 0:
+            return float("inf")
+        return (pricing.dollars_per_hour(self.num_gpus) / 3600.0
+                / self.tokens_per_s * 1e6)
+
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form suitable for JSON serialisation.
 
         Non-finite iteration times (infeasible rows) are stored as
-        ``None`` so the payload stays strict JSON.
+        ``None`` so the payload stays strict JSON. The serving fields
+        (``workload``, ``tokens_per_s``, ``ttft_s``, ``tpot_s``) are
+        omitted for training rows, so payloads written before the
+        workload abstraction — and the prediction-cache fingerprints
+        built over them — remain byte-identical.
         """
-        return {
+        payload = {
             "plan": self.plan.to_dict(),
             "feasible": self.feasible,
             "iteration_time": (self.iteration_time
@@ -72,6 +99,12 @@ class DesignPoint:
             "memory_gib": self.memory_gib,
             "infeasible_reason": self.infeasible_reason,
         }
+        if self.workload != "training":
+            payload["workload"] = self.workload
+            payload["tokens_per_s"] = self.tokens_per_s
+            payload["ttft_s"] = self.ttft_s
+            payload["tpot_s"] = self.tpot_s
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "DesignPoint":
@@ -91,10 +124,14 @@ class DesignPoint:
 
 @dataclass
 class DSEResult:
-    """All evaluated points plus selection helpers."""
+    """All evaluated points plus selection helpers.
+
+    ``training`` is ``None`` for serving sweeps, which are shaped by an
+    :class:`~repro.workload.InferenceWorkload` instead.
+    """
 
     model: ModelConfig
-    training: TrainingConfig
+    training: TrainingConfig | None
     points: list[DesignPoint] = field(default_factory=list)
 
     @property
@@ -159,6 +196,41 @@ class DSEResult:
                 best_cost = cost
         return frontier
 
+    def serving_pareto_frontier(
+            self, *, pricing: PricingModel = DEFAULT_PRICING,
+            ) -> list[DesignPoint]:
+        """Serving points not dominated in (tokens/s, cost per Mtok).
+
+        The vLLM-style trade-off surface: raising tensor parallelism
+        buys latency (and with it per-replica throughput) at a worse
+        cost rate, while adding replicas buys throughput at an unchanged
+        rate — the frontier exposes which plans are worth either trade.
+        Sorted by descending throughput.
+        """
+        costed = [(point, point.cost_per_million_tokens(pricing))
+                  for point in self.feasible_points
+                  if point.workload == "inference"]
+        costed.sort(key=lambda entry: (-entry[0].tokens_per_s, entry[1]))
+        frontier: list[DesignPoint] = []
+        best_cost = float("inf")
+        for point, cost in costed:
+            if cost < best_cost:
+                frontier.append(point)
+                best_cost = cost
+        return frontier
+
+    def best_by_throughput(self, *, max_gpus: int | None = None,
+                           ) -> DesignPoint:
+        """Highest-throughput feasible serving point."""
+        candidates = [p for p in self.feasible_points
+                      if p.workload == "inference"]
+        if max_gpus is not None:
+            candidates = [p for p in candidates if p.num_gpus <= max_gpus]
+        if not candidates:
+            raise InfeasibleConfigError(
+                "no feasible serving points match the constraints")
+        return max(candidates, key=lambda point: point.tokens_per_s)
+
     def heatmap(self, metric: str = "iteration_time",
                 ) -> dict[tuple[int, int, int], float]:
         """Figure-10 style grid: (t, d, p) -> metric (best micro-batch).
@@ -206,17 +278,28 @@ class DesignSpaceExplorer:
             :class:`SystemConfig` (e.g. to change interconnects).
         zero_stage: ZeRO sharding stage (0-3) assumed by the memory
             feasibility filter (default 1, ZeRO-1 optimizer sharding).
+        workload: An :class:`~repro.workload.InferenceWorkload` turns
+            the sweep into a serving exploration — plans come from
+            :func:`repro.dse.space.enumerate_serving_plans`, each is
+            evaluated by :meth:`VTrain.predict_inference`, and
+            ``training`` may be ``None``.
     """
 
-    def __init__(self, model: ModelConfig, training: TrainingConfig, *,
+    def __init__(self, model: ModelConfig,
+                 training: TrainingConfig | None, *,
                  gpus_per_node: int = 8,
                  granularity: Granularity = Granularity.STAGE,
                  network: str = "flat",
                  system_factory: Callable[[int], SystemConfig] | None = None,
                  zero_stage: int = 1,
+                 workload=None,
                  ) -> None:
+        if training is None and workload is None:
+            raise ConfigError(
+                "DesignSpaceExplorer needs a training recipe or a workload")
         self.model = model
         self.training = training
+        self.workload = workload
         self.gpus_per_node = gpus_per_node
         self.granularity = granularity
         self.network = network
@@ -250,6 +333,8 @@ class DesignSpaceExplorer:
         """Evaluate a single plan into a DesignPoint (never raises for
         infeasible or structurally invalid plans — both become
         ``feasible=False`` rows, so one bad plan cannot abort a sweep)."""
+        if self.workload is not None:
+            return self._evaluate_serving(plan)
         simulator = self._simulator_for(plan.total_gpus)
         try:
             prediction = simulator.predict(self.model, plan, self.training)
@@ -261,6 +346,25 @@ class DesignSpaceExplorer:
             iteration_time=prediction.iteration_time,
             utilization=prediction.gpu_compute_utilization,
             memory_gib=prediction.memory_per_gpu / float(1 << 30))
+
+    def _evaluate_serving(self, plan: ParallelismConfig) -> DesignPoint:
+        """Evaluate one serving plan against the inference workload."""
+        simulator = self._simulator_for(plan.total_gpus)
+        try:
+            prediction = simulator.predict_inference(self.model, plan,
+                                                     self.workload)
+        except (InfeasibleConfigError, ConfigError) as exc:
+            return DesignPoint(plan=plan, feasible=False,
+                               infeasible_reason=str(exc),
+                               workload="inference")
+        return DesignPoint(
+            plan=plan, feasible=True,
+            iteration_time=prediction.decode_step_time,
+            memory_gib=prediction.memory_per_gpu / float(1 << 30),
+            workload="inference",
+            tokens_per_s=prediction.tokens_per_second,
+            ttft_s=prediction.prefill_time,
+            tpot_s=prediction.decode_step_time)
 
     def evaluate_batch(self, plans: list[ParallelismConfig],
                        ) -> list[DesignPoint]:
@@ -331,6 +435,12 @@ class DesignSpaceExplorer:
             progress: Callback ``progress(completed, total)`` invoked as
                 the sweep advances.
         """
+        if self.workload is not None:
+            return self._explore_serving(space=space, num_gpus=num_gpus,
+                                         max_gpus=max_gpus, plans=plans,
+                                         cache=cache,
+                                         checkpoint_path=checkpoint_path,
+                                         progress=progress)
         if (workers is not None and workers > 1) or cache is not None \
                 or checkpoint_path is not None or progress is not None:
             from repro.dse.parallel import ParallelExplorer
@@ -362,6 +472,59 @@ class DesignSpaceExplorer:
             evaluated = self.evaluate_batch([plan_list[i] for i in group])
             for index, point in zip(group, evaluated):
                 result.points[index] = point
+        return result
+
+    def _explore_serving(self, *, space: SearchSpace,
+                         num_gpus: int | None, max_gpus: int | None,
+                         plans: Iterable[ParallelismConfig] | None,
+                         cache: "PredictionCache | None",
+                         checkpoint_path: Any,
+                         progress: Callable[[int, int], None] | None,
+                         ) -> DSEResult:
+        """Serving sweep: each plan replays a prefill + decode graph.
+
+        Serial by design — phase graphs are small (no backward half) and
+        the process-wide structure cache already collapses repeat
+        topologies — but honours the same cache / checkpoint / progress
+        contract as the training sweep.
+        """
+        from repro.dse.cache import PredictionCache, fingerprint
+
+        if plans is None:
+            plans = enumerate_serving_plans(self.model, self.workload,
+                                            space=space, num_gpus=num_gpus,
+                                            max_gpus=max_gpus)
+        plan_list = list(plans)
+        if cache is None and checkpoint_path is not None:
+            cache = (PredictionCache.load(checkpoint_path)
+                     if Path(checkpoint_path).exists() else PredictionCache())
+        result = DSEResult(model=self.model, training=self.training,
+                           points=[])
+        with obs.span("dse.explore_serving", category="dse",
+                      plans=len(plan_list)):
+            for completed, plan in enumerate(plan_list, start=1):
+                key = None
+                if cache is not None:
+                    key = fingerprint(self.model, plan, self.training,
+                                      self.system_for(plan.total_gpus),
+                                      self.granularity,
+                                      zero_stage=self.zero_stage,
+                                      workload=self.workload)
+                    point = cache.get(key)
+                    if point is not None:
+                        result.points.append(point)
+                        if progress is not None:
+                            progress(completed, len(plan_list))
+                        continue
+                point = self._evaluate_serving(plan)
+                result.points.append(point)
+                if cache is not None:
+                    cache.put(key, point)
+                if progress is not None:
+                    progress(completed, len(plan_list))
+            if cache is not None and checkpoint_path is not None:
+                cache.save(checkpoint_path)
+        obs.count("dse.plans_evaluated", len(plan_list))
         return result
 
     def _affinity_groups(self, plans: list[ParallelismConfig],

@@ -151,6 +151,44 @@ def enumerate_plans(model: ModelConfig, training: TrainingConfig, *,
                             recompute=space.recompute)
 
 
+def enumerate_serving_plans(model: ModelConfig, workload, *,
+                            space: SearchSpace = SearchSpace(),
+                            num_gpus: int | None = None,
+                            max_gpus: int | None = None,
+                            ) -> Iterator[ParallelismConfig]:
+    """Yield every structurally-valid serving plan for a workload.
+
+    The serving analogue of :func:`enumerate_plans` for an
+    :class:`~repro.workload.InferenceWorkload`. The ``d`` axis counts
+    data-parallel *server replicas* (each holding a full model copy and
+    serving its own ``workload.batch_size`` requests), so unlike
+    training it imposes no batch-divisibility constraint; the
+    micro-batch size must divide the per-replica serving batch, and
+    virtual pipelining is excluded (phase graphs are plain forward
+    pipelines).
+    """
+    if (num_gpus is None) == (max_gpus is None):
+        raise ConfigError("specify exactly one of num_gpus / max_gpus")
+    budget = num_gpus if num_gpus is not None else max_gpus
+    if budget <= 0:
+        raise ConfigError("GPU budget must be positive")
+    for t in tensor_candidates(model, space):
+        for p in pipeline_candidates(model, space):
+            for d in range(1, space.max_data + 1):
+                total = t * d * p
+                if total > budget:
+                    break
+                if num_gpus is not None and total != num_gpus:
+                    continue
+                for m in space.micro_batch_sizes:
+                    if workload.batch_size % m != 0:
+                        continue
+                    yield ParallelismConfig(
+                        tensor=t, data=d, pipeline=p, micro_batch_size=m,
+                        schedule=space.schedule,
+                        recompute=space.recompute)
+
+
 def count_plans(model: ModelConfig, training: TrainingConfig, *,
                 space: SearchSpace = SearchSpace(),
                 num_gpus: int | None = None,

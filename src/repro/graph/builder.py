@@ -62,6 +62,7 @@ from repro.graph.structure import (COMM_STREAM, COMPUTE_STREAM,
 from repro.hardware.cluster import ClusterTopology
 from repro.profiling.lookup import OperatorToTaskTable
 from repro.profiling.nccl import NcclModel
+from repro.workload import DECODE, INFERENCE_PHASES, InferenceWorkload, PREFILL
 
 FP16 = 2.0
 
@@ -171,7 +172,9 @@ def clear_structure_cache() -> None:
 
 def structure_fingerprint(model: ModelConfig, plan: ParallelismConfig,
                           training: TrainingConfig,
-                          granularity: Granularity) -> str:
+                          granularity: Granularity, *,
+                          workload: InferenceWorkload | None = None,
+                          phase: str | None = None) -> str:
     """Fingerprint of everything that shapes a plan's emitted topology.
 
     Two (model, plan, training, granularity) tuples with equal
@@ -194,6 +197,14 @@ def structure_fingerprint(model: ModelConfig, plan: ParallelismConfig,
 
     Computable without any profiling state, so sweep engines use it to
     group plans for cache affinity before evaluating them.
+
+    Inference phase graphs (``workload``/``phase`` set) append a
+    workload tag so a prefill or decode structure is never confused
+    with — or silently served for — a training structure, and vice
+    versa; training fingerprints omit the tag entirely and stay
+    byte-identical to every pre-workload release. For inference,
+    ``training`` is the workload's proxy config
+    (:meth:`~repro.workload.InferenceWorkload.training_proxy`).
     """
     lps = layers_per_stage(model, plan)
     nmb = num_micro_batches(plan, training)
@@ -230,6 +241,25 @@ def structure_fingerprint(model: ModelConfig, plan: ParallelismConfig,
                      f"x{model.padded_vocab_size(plan.tensor)}")
         parts.append(f"mbs={plan.micro_batch_size}")
         parts.append(f"t={plan.tensor}")
+    if phase is not None:
+        if workload is None or phase not in INFERENCE_PHASES:
+            raise ConfigError(
+                f"inference fingerprint needs a workload and a phase in "
+                f"{INFERENCE_PHASES}, got workload={workload!r} "
+                f"phase={phase!r}")
+        # Inference phase graphs carry their own sequence shape (the
+        # prompt length for prefill, one token + KV depth for decode)
+        # rather than the model's training seq_length, so the phase,
+        # the per-phase sequence length, and the decode KV depth all
+        # enter the fingerprint. Conservative on purpose: two decode
+        # graphs differing only in KV depth share topology, but their
+        # kernel labels differ, so they are cached separately.
+        parts.append("wl=inference")
+        parts.append(f"ph={phase}")
+        if phase == PREFILL:
+            parts.append(f"seq={workload.prompt_len}")
+        else:
+            parts.append(f"seq=1;kv={workload.decode_kv_length}")
     return ";".join(parts)
 
 
@@ -249,12 +279,49 @@ def structure_affinity(model: ModelConfig, plan: ParallelismConfig,
 
 
 class GraphBuilder:
-    """Builds one training iteration's execution graph."""
+    """Builds one workload step's execution graph.
+
+    The default (no ``workload``/``phase``) emits the classic training
+    iteration — forward, backward, gradient sync, weight update — and
+    is bit-identical to the pre-workload builder. With an
+    :class:`~repro.workload.InferenceWorkload` and a phase tag the same
+    phase-composition machinery emits a serving phase graph instead:
+
+    * ``PREFILL`` — the pipelined full-prompt forward pass (no
+      backward, optimizer, or gradient-bucket tasks), reusing the exact
+      forward-chunk emission of training, so a prefill graph is the
+      forward-only subgraph of the matching training graph;
+    * ``DECODE`` — one single-token forward step whose attention
+      operators are scaled by the accumulated KV-cache length.
+
+    Both phases reuse the TP All-Reduce and PP Send-Receive timing from
+    the network layer, sized to the phase's sequence length.
+    """
 
     def __init__(self, model: ModelConfig, system: SystemConfig,
-                 plan: ParallelismConfig, training: TrainingConfig,
+                 plan: ParallelismConfig, training: TrainingConfig | None,
                  lookup: OperatorToTaskTable, nccl: NcclModel,
-                 granularity: Granularity = Granularity.OPERATOR) -> None:
+                 granularity: Granularity = Granularity.OPERATOR, *,
+                 workload: InferenceWorkload | None = None,
+                 phase: str | None = None) -> None:
+        if (workload is None) != (phase is None):
+            raise ConfigError(
+                "workload and phase must be given together")
+        if workload is not None:
+            if phase not in INFERENCE_PHASES:
+                raise ConfigError(
+                    f"phase must be one of {INFERENCE_PHASES}, "
+                    f"got {phase!r}")
+            if plan.virtual_stages > 1:
+                raise ConfigError(
+                    "inference graphs do not support virtual pipeline "
+                    "stages (interleaving is a training-schedule "
+                    "optimisation)")
+            if training is None:
+                training = workload.training_proxy(plan.data)
+        elif training is None:
+            raise ConfigError("training config required for the "
+                              "training workload")
         validate_plan(model, plan, training, plan.total_gpus)
         if plan.total_gpus > system.num_gpus:
             raise ConfigError(
@@ -267,6 +334,23 @@ class GraphBuilder:
         self.lookup = lookup
         self.nccl = nccl
         self.granularity = granularity
+        self.workload = workload
+        self.phase = phase
+        # Phase shape: training and prefill run full sequences (the
+        # model's seq_length / the workload's prompt length); decode
+        # runs one token per sequence over the accumulated KV cache.
+        if workload is None:
+            self._seq = model.seq_length
+            self._kv = 0
+            self._compute_kind = KIND_COMPUTE
+        elif phase == PREFILL:
+            self._seq = workload.prompt_len
+            self._kv = 0
+            self._compute_kind = PREFILL
+        else:
+            self._seq = 1
+            self._kv = workload.decode_kv_length
+            self._compute_kind = DECODE
 
         self.topology = ClusterTopology(system, plan)
         self.nmb = num_micro_batches(plan, training)
@@ -285,32 +369,45 @@ class GraphBuilder:
     # Precomputation
     # ------------------------------------------------------------------
     def _init_operators(self) -> None:
-        """Instantiate the necessary operators (one per signature)."""
+        """Instantiate the necessary operators (one per signature).
+
+        Operators take the *phase* sequence length (== the model's
+        seq_length for training), and the forward MHA carries the
+        phase's KV depth; backward operators exist only for the
+        training workload.
+        """
         model, plan = self.model, self.plan
         common = dict(micro_batch=plan.micro_batch_size,
-                      seq_length=model.seq_length,
+                      seq_length=self._seq,
                       hidden_size=model.hidden_size,
                       num_heads=model.num_heads,
                       tensor_parallel=plan.tensor)
-        self.op_fwd_mha = CompOperator(OpKind.FWD_MHA, **common)
+        self.op_fwd_mha = CompOperator(OpKind.FWD_MHA, kv_length=self._kv,
+                                       **common)
         self.op_fwd_ffn = CompOperator(OpKind.FWD_FFN, **common)
+        self.op_fwd_embed = CompOperator(OpKind.FWD_EMBEDDING,
+                                         vocab_size=self.vocab, **common)
+        self.op_fwd_head = CompOperator(OpKind.FWD_LM_HEAD,
+                                        vocab_size=self.vocab, **common)
+        if self.phase is not None:
+            self.op_bwd_mha = None
+            self.op_bwd_ffn = None
+            self.op_bwd_embed = None
+            self.op_bwd_head = None
+            return
         self.op_bwd_mha = CompOperator(OpKind.BWD_MHA, recompute=plan.recompute,
                                        **common)
         self.op_bwd_ffn = CompOperator(OpKind.BWD_FFN, recompute=plan.recompute,
                                        **common)
-        self.op_fwd_embed = CompOperator(OpKind.FWD_EMBEDDING,
-                                         vocab_size=self.vocab, **common)
         self.op_bwd_embed = CompOperator(OpKind.BWD_EMBEDDING,
                                          vocab_size=self.vocab, **common)
-        self.op_fwd_head = CompOperator(OpKind.FWD_LM_HEAD,
-                                        vocab_size=self.vocab, **common)
         self.op_bwd_head = CompOperator(OpKind.BWD_LM_HEAD,
                                         vocab_size=self.vocab, **common)
 
     def _init_comm_times(self) -> None:
         """Pre-time every communication operator the graph will use."""
         model, plan = self.model, self.plan
-        b, s, h = plan.micro_batch_size, model.seq_length, model.hidden_size
+        b, s, h = plan.micro_batch_size, self._seq, model.hidden_size
         if plan.tensor > 1:
             link = self.topology.tensor_link()
             self.tp_ar = tensor_allreduce(b, s, h, plan.tensor, link)
@@ -382,10 +479,17 @@ class GraphBuilder:
         """
         plan = self.plan
         timings: dict[str, float] = {}
-        ops = self._comp_ops = (
-            self.op_fwd_embed, self.op_fwd_mha, self.op_fwd_ffn,
-            self.op_fwd_head, self.op_bwd_head, self.op_bwd_ffn,
-            self.op_bwd_mha, self.op_bwd_embed)
+        if self.phase is None:
+            ops = self._comp_ops = (
+                self.op_fwd_embed, self.op_fwd_mha, self.op_fwd_ffn,
+                self.op_fwd_head, self.op_bwd_head, self.op_bwd_ffn,
+                self.op_bwd_mha, self.op_bwd_embed)
+        else:
+            # Inference phases are forward-only: no backward, optimizer,
+            # or gradient-sync slots exist in the table at all.
+            ops = self._comp_ops = (
+                self.op_fwd_embed, self.op_fwd_mha, self.op_fwd_ffn,
+                self.op_fwd_head)
         for op in ops:
             timings[f"op:{op.kind.value}"] = self.lookup.duration_of(op)
         if self.granularity is Granularity.KERNEL:
@@ -399,7 +503,7 @@ class GraphBuilder:
             timings["pp:wrap"] = self.wrap_time
 
         self._dp_comms: dict[tuple[int, int], object] = {}
-        if plan.data > 1:
+        if plan.data > 1 and self.phase is None:
             dp_link = self.topology.data_link()
             dp_concurrency = self.topology.concurrent_data_groups_per_node()
             for stage in range(plan.pipeline):
@@ -411,34 +515,37 @@ class GraphBuilder:
                     timings[f"dp:{stage}:{bucket}"] = self.nccl.time(comm)
 
         self._wu_ops: dict[int, CompOperator] = {}
-        for stage in range(plan.pipeline):
-            wu_op = CompOperator(OpKind.WEIGHT_UPDATE,
-                                 num_params=self.stage_params[stage])
-            self._wu_ops[stage] = wu_op
-            timings[f"wu:{stage}"] = self.lookup.duration_of(wu_op)
+        if self.phase is None:
+            for stage in range(plan.pipeline):
+                wu_op = CompOperator(OpKind.WEIGHT_UPDATE,
+                                     num_params=self.stage_params[stage])
+                self._wu_ops[stage] = wu_op
+                timings[f"wu:{stage}"] = self.lookup.duration_of(wu_op)
 
         if self.granularity is Granularity.STAGE:
             for stage in range(plan.pipeline):
                 for chunk in range(self.v):
                     timings[self._slot("sf", stage, chunk)] = \
                         self._forward_stage_duration(stage, chunk)
-                    timings[self._slot("sb", stage, chunk)] = \
-                        self._backward_stage_duration(stage, chunk)
-            layer_dur = self._backward_layer_duration()
-            for stage in range(plan.pipeline):
-                for chunk in range(self.v):
-                    for seg_index, (bucket, width) in enumerate(
-                            self._bucket_segments(chunk)):
-                        duration = width * layer_dur
-                        if (seg_index == 0 and stage == plan.pipeline - 1
-                                and chunk == self.v - 1):
-                            duration += self.lookup.duration_of(
-                                self.op_bwd_head)
-                        if bucket == 0 and stage == 0 and chunk == 0:
-                            duration += self.lookup.duration_of(
-                                self.op_bwd_embed)
-                        timings[self._slot("sbl", stage, chunk,
-                                           bucket)] = duration
+                    if self.phase is None:
+                        timings[self._slot("sb", stage, chunk)] = \
+                            self._backward_stage_duration(stage, chunk)
+            if self.phase is None:
+                layer_dur = self._backward_layer_duration()
+                for stage in range(plan.pipeline):
+                    for chunk in range(self.v):
+                        for seg_index, (bucket, width) in enumerate(
+                                self._bucket_segments(chunk)):
+                            duration = width * layer_dur
+                            if (seg_index == 0 and stage == plan.pipeline - 1
+                                    and chunk == self.v - 1):
+                                duration += self.lookup.duration_of(
+                                    self.op_bwd_head)
+                            if bucket == 0 and stage == 0 and chunk == 0:
+                                duration += self.lookup.duration_of(
+                                    self.op_bwd_embed)
+                            timings[self._slot("sbl", stage, chunk,
+                                               bucket)] = duration
         self.timings = timings
 
     def _slot(self, tag: str, stage: int, chunk: int,
@@ -480,11 +587,13 @@ class GraphBuilder:
         """This builder's :func:`structure_fingerprint` (see there for
         exactly what the fingerprint covers and excludes)."""
         return structure_fingerprint(self.model, self.plan, self.training,
-                                     self.granularity)
+                                     self.granularity,
+                                     workload=self.workload,
+                                     phase=self.phase)
 
     def graph_metadata(self) -> dict:
         """The metadata dict a freshly built graph would carry."""
-        return {
+        metadata = {
             "plan": self.plan,
             "model": self.model.name or self.model.describe(),
             "granularity": self.granularity.value,
@@ -493,6 +602,10 @@ class GraphBuilder:
             "schedule": self.plan.schedule.value,
             "virtual_stages": self.v,
         }
+        if self.phase is not None:
+            metadata["workload"] = "inference"
+            metadata["phase"] = self.phase
+        return metadata
 
     def slot_kernel_counts(self) -> dict[str, int]:
         """Kernel count behind each timing slot, for *this* builder's
@@ -547,6 +660,9 @@ class GraphBuilder:
                            metadata=self.graph_metadata())
 
     def _emit(self, asm: _AssemblerBase) -> None:
+        if self.phase is not None:
+            self._emit_inference(asm)
+            return
         p = self.plan.pipeline
         orders = [schedule_order(self.plan.schedule, st, p, self.nmb,
                                  virtual_stages=self.v)
@@ -584,13 +700,46 @@ class GraphBuilder:
         self._emit_pipeline_comm(asm, f_exit, f_entry, b_exit, b_entry)
         self._emit_gradient_sync(asm, b_exit, bucket_anchor, last_b)
 
+    def _emit_inference(self, asm: _AssemblerBase) -> None:
+        """One inference phase: the pipelined forward pass, nothing else.
+
+        Each stage issues its micro-batches' forward chunks in ascending
+        order — the forward sub-order of both GPipe and 1F1B — through
+        the same :meth:`_emit_forward_chunk` the training path uses, so
+        a prefill graph is exactly the forward-only subgraph of the
+        matching training graph (same labels, durations, and issue
+        order; compute tasks are tagged with the phase kind instead of
+        ``compute``). Only the forward half of the pipeline P2P pass is
+        emitted; no backward, gradient-sync, or weight-update tasks
+        exist.
+        """
+        p = self.plan.pipeline
+        f_entry: dict[tuple[int, int, int], int] = {}
+        f_exit: dict[tuple[int, int, int], int] = {}
+        for stage in range(p):
+            for mb in range(self.nmb):
+                unit = ScheduledChunk(FORWARD, mb)
+                entry, exit_ = self._emit_forward_chunk(asm, stage, unit)
+                f_entry[(stage, 0, mb)] = entry
+                f_exit[(stage, 0, mb)] = exit_
+        for boundary in range(p - 1):
+            for mb in range(self.nmb):
+                send = asm.add(boundary, COMM_STREAM,
+                               self.send_time[boundary], KIND_PP_COMM,
+                               f"s{boundary}->s{boundary + 1}/F{mb}",
+                               deps=(f_exit[(boundary, 0, mb)],),
+                               chain=False, slot=f"pp:{boundary}")
+                asm.link(send, f_entry[(boundary + 1, 0, mb)])
+
     # ------------------------------------------------------------------
     # Chunk emission
     # ------------------------------------------------------------------
     def _emit_comp(self, asm: GraphAssembler, stage: int, op: CompOperator,
-                   label: str, kind: str = KIND_COMPUTE,
+                   label: str, kind: str | None = None,
                    deps: tuple[int, ...] = ()) -> tuple[int, int]:
         """Emit one computation operator; returns (entry, exit) task ids."""
+        if kind is None:
+            kind = self._compute_kind
         op_key = op.kind.value
         if self.granularity is Granularity.KERNEL:
             first = None
@@ -634,7 +783,7 @@ class GraphBuilder:
         if self.granularity is Granularity.STAGE:
             slot = self._slot("sf", stage, chunk)
             node = asm.add(stage, COMPUTE_STREAM, self.timings[slot],
-                           KIND_COMPUTE, prefix, slot=slot)
+                           self._compute_kind, prefix, slot=slot)
             return node, node
         p = self.plan.pipeline
         entry = None

@@ -60,6 +60,13 @@ class CompOperator:
         recompute: Activation recomputation mode — changes the backward
             kernel sequence (re-executed forward kernels).
         num_params: Parameters updated (WEIGHT_UPDATE only).
+        kv_length: KV-cache entries attention reads (decode-phase MHA
+            only). Zero — the default, and the value for every training
+            operator — means attention attends over the operator's own
+            ``seq_length``; a positive value scales the attention
+            score/context kernels to ``seq_length x kv_length``, the
+            single-token-query-over-cached-keys shape of inference
+            decode.
     """
 
     kind: OpKind
@@ -71,6 +78,7 @@ class CompOperator:
     vocab_size: int = 0
     recompute: RecomputeMode = RecomputeMode.NONE
     num_params: int = 0
+    kv_length: int = 0
 
     def __post_init__(self) -> None:
         if self.kind is OpKind.WEIGHT_UPDATE:
@@ -89,13 +97,21 @@ class CompOperator:
                          OpKind.FWD_LM_HEAD, OpKind.BWD_LM_HEAD):
             if self.vocab_size <= 0:
                 raise ConfigError(f"{self.kind} requires vocab_size > 0")
+        if self.kv_length < 0:
+            raise ConfigError("kv_length must be non-negative")
 
     @property
     def signature(self) -> tuple:
         """Hashable profiling key — equal signature means equal kernels."""
-        return (self.kind.value, self.micro_batch, self.seq_length,
+        base = (self.kind.value, self.micro_batch, self.seq_length,
                 self.hidden_size, self.num_heads, self.tensor_parallel,
                 self.vocab_size, self.recompute.value, self.num_params)
+        if self.kv_length:
+            # Appended only when set, so every pre-workload (training)
+            # signature — and therefore every profiling-table key —
+            # stays byte-identical.
+            return base + (self.kv_length,)
+        return base
 
     @property
     def tokens(self) -> int:

@@ -53,12 +53,19 @@ USABLE_MEMORY_FRACTION = 0.96
 
 @dataclass(frozen=True)
 class MemoryFootprint:
-    """Peak per-GPU memory demand, broken down by category (bytes)."""
+    """Peak per-GPU memory demand, broken down by category (bytes).
+
+    Training footprints populate gradients/optimizer states and leave
+    ``kv_cache`` at zero; inference footprints do the reverse — the
+    KV cache replaces the gradient and optimizer terms as the dominant
+    non-weight resident (see :func:`inference_memory_footprint`).
+    """
 
     weights: float
     gradients: float
     optimizer_states: float
     activations: float
+    kv_cache: float = 0.0
 
     @property
     def model_states(self) -> float:
@@ -68,7 +75,7 @@ class MemoryFootprint:
     @property
     def total(self) -> float:
         """Total peak bytes per GPU."""
-        return self.model_states + self.activations
+        return self.model_states + self.activations + self.kv_cache
 
     @property
     def total_gib(self) -> float:
@@ -235,6 +242,64 @@ def check_memory(model: ModelConfig, plan: ParallelismConfig,
     if footprint.total > budget:
         raise InfeasibleConfigError(
             f"plan {plan.way} m={plan.micro_batch_size} needs "
+            f"{footprint.total_gib:.1f} GiB/GPU, budget is "
+            f"{budget / float(1 << 30):.1f} GiB ({system.gpu.name})")
+    return footprint
+
+
+def inference_memory_footprint(model: ModelConfig, plan: ParallelismConfig,
+                               workload) -> MemoryFootprint:
+    """Peak per-GPU footprint of serving one inference batch.
+
+    Inference holds no gradients or optimizer states; the KV cache
+    replaces them as the dominant non-weight resident:
+
+    ``kv = 2 * (L/p) * (prompt + gen) * batch * (h/t) * FP16_BYTES``
+
+    — the factor 2 covers keys and values, each pipeline stage caches
+    only its ``L/p`` layers, attention heads (and with them the ``h``
+    dimension) shard across the ``t`` tensor ranks, and the cache must
+    be provisioned for the *end-of-generation* sequence length. The
+    activation term is the transient forward working set: one
+    full-prompt hidden-state buffer per in-flight micro-batch.
+
+    Args:
+        workload: An :class:`~repro.workload.InferenceWorkload`
+            (``batch_size`` is per replica; data parallelism replicates
+            servers and does not shard the cache).
+    """
+    weights = FP16_BYTES * max(stage_zero_params(model, plan),
+                               last_stage_params(model, plan))
+    kv_cache = (2.0 * layers_per_stage(model, plan)
+                * workload.max_kv_length * workload.batch_size
+                * (model.hidden_size / plan.tensor) * FP16_BYTES)
+    proxy = workload.training_proxy(plan.data)
+    nmb = num_micro_batches(plan, proxy)
+    in_flight = min(nmb, plan.pipeline)
+    activations = (FP16_BYTES * plan.micro_batch_size * workload.prompt_len
+                   * model.hidden_size * in_flight)
+    return MemoryFootprint(weights=weights, gradients=0.0,
+                           optimizer_states=0.0, activations=activations,
+                           kv_cache=kv_cache)
+
+
+def fits_inference_memory(model: ModelConfig, plan: ParallelismConfig,
+                          workload, system: SystemConfig) -> bool:
+    """Whether a serving plan's peak footprint fits usable HBM."""
+    footprint = inference_memory_footprint(model, plan, workload)
+    return footprint.total <= system.gpu.memory_bytes * USABLE_MEMORY_FRACTION
+
+
+def check_inference_memory(model: ModelConfig, plan: ParallelismConfig,
+                           workload,
+                           system: SystemConfig) -> MemoryFootprint:
+    """Footprint if feasible, else :class:`InfeasibleConfigError`."""
+    footprint = inference_memory_footprint(model, plan, workload)
+    budget = system.gpu.memory_bytes * USABLE_MEMORY_FRACTION
+    if footprint.total > budget:
+        raise InfeasibleConfigError(
+            f"serving plan {plan.way} batch={workload.batch_size} "
+            f"kv={workload.max_kv_length} needs "
             f"{footprint.total_gib:.1f} GiB/GPU, budget is "
             f"{budget / float(1 << 30):.1f} GiB ({system.gpu.name})")
     return footprint

@@ -84,9 +84,18 @@ class OperatorDecomposer:
     # ------------------------------------------------------------------
     def _mha_forward_kernels(self, op: CompOperator, *, core_only: bool):
         """Forward MHA kernels; ``core_only`` keeps just the attention
-        score/softmax/context portion (what selective recompute replays)."""
+        score/softmax/context portion (what selective recompute replays).
+
+        With ``op.kv_length`` set (inference decode), the attention core
+        attends ``seq_length`` queries over ``kv_length`` cached keys
+        and values: scores are ``s x kv``, softmax rows span ``kv``
+        columns, and the context GEMM contracts over ``kv``. At
+        ``kv_length == 0`` (every training operator) ``kv == s`` and the
+        kernel sequence is byte-identical to the pre-workload builder.
+        """
         tokens, h, heads_local, head_dim, h_local, _ = self._dims(op)
         s = op.seq_length
+        kv = op.kv_length or s
         batch_heads = op.micro_batch * heads_local
         if not core_only:
             yield self.device.reduction(tokens, h, passes=2.5,
@@ -95,13 +104,13 @@ class OperatorDecomposer:
                                    name_hint="qkv_proj")
             yield self.device.elementwise(tokens * 3 * h_local,
                                           name="qkv_bias_add")
-        yield self.device.gemm(s, s, head_dim, batch=batch_heads,
+        yield self.device.gemm(s, kv, head_dim, batch=batch_heads,
                                layout="nt", name_hint="attn_scores")
-        yield self.device.reduction(batch_heads * s, s, passes=3.0,
+        yield self.device.reduction(batch_heads * s, kv, passes=3.0,
                                     name="scaled_masked_softmax")
-        yield self.device.elementwise(batch_heads * s * s,
+        yield self.device.elementwise(batch_heads * s * kv,
                                       name="attention_dropout")
-        yield self.device.gemm(s, head_dim, s, batch=batch_heads,
+        yield self.device.gemm(s, head_dim, kv, batch=batch_heads,
                                layout="nn", name_hint="attn_context")
         if not core_only:
             yield self.device.gemm(tokens, h, h_local, layout="tn",

@@ -180,10 +180,15 @@ class ServeClient:
                 preset: str | None = None,
                 granularity: str | None = None,
                 zero_stage: int | None = None,
+                workload: dict[str, Any] | None = None,
                 trace: bool = False,
                 trace_id: str | None = None) -> dict[str, Any]:
         """Predict one plan (an :class:`InputDescription` dict or a
         preset key); returns the prediction payload.
+
+        ``workload`` is a serialised workload envelope (e.g.
+        ``InferenceWorkload.to_dict()``) forwarded to the daemon
+        unchanged; omitting it predicts the training workload.
 
         With ``trace=True`` the daemon returns its wall-clock spans
         (and pid) in the payload's ``served`` dict; pair with a
@@ -198,6 +203,8 @@ class ServeClient:
             params["granularity"] = granularity
         if zero_stage is not None:
             params["zero_stage"] = zero_stage
+        if workload is not None:
+            params["workload"] = workload
         if trace:
             params["trace"] = True
         return self.call("predict", params, trace_id=trace_id)

@@ -79,6 +79,7 @@ from repro.obs.stitch import wire_span
 from repro.obs.timeseries import ServingTimeSeries
 from repro.serve import protocol
 from repro.sim.estimator import VTrain
+from repro.workload import InferenceWorkload, workload_from_dict
 
 GIB = float(1 << 30)
 
@@ -116,6 +117,9 @@ class _Job:
     granularity: Granularity
     zero_stage: int
     key: str
+    #: Inference workload of a serving prediction; ``None`` for the
+    #: default training workload.
+    workload: InferenceWorkload | None = None
     done: threading.Event = field(default_factory=threading.Event)
     point: DesignPoint | None = None
     error: BaseException | None = None
@@ -233,7 +237,7 @@ class PredictionService:
     # Request parsing
     # ------------------------------------------------------------------
     def _parse_predict(self, params: dict[str, Any]) -> tuple[
-            InputDescription, Granularity, int]:
+            InputDescription, Granularity, int, InferenceWorkload | None]:
         if ("description" in params) == ("preset" in params):
             raise ConfigError(
                 "predict needs exactly one of 'description' or 'preset'")
@@ -252,7 +256,11 @@ class PredictionService:
         zero_stage = params.get("zero_stage", 1)
         if zero_stage not in (0, 1, 2, 3):
             raise ConfigError("zero_stage must be 0..3")
-        return description, granularity, int(zero_stage)
+        # The workload envelope arrives exactly as the client serialised
+        # it (None / training / inference); parsing is the only
+        # transformation it undergoes on the way to the simulator.
+        workload = workload_from_dict(params.get("workload"))
+        return description, granularity, int(zero_stage), workload
 
     def _vtrain_for(self, description: InputDescription,
                     granularity: Granularity, zero_stage: int) -> VTrain:
@@ -280,7 +288,8 @@ class PredictionService:
         execution) and the daemon pid, ready for
         :func:`repro.obs.stitch.stitch_trace`.
         """
-        description, granularity, zero_stage = self._parse_predict(params)
+        description, granularity, zero_stage, workload = \
+            self._parse_predict(params)
         trace = bool(params.get("trace"))
         trace_id = obs.current_trace_id() or protocol.trace_id_of(params)
         if trace and trace_id is None:
@@ -289,7 +298,8 @@ class PredictionService:
         started = time.perf_counter()
         started_unix = time.time()
         point, job, source = self._admit(description, granularity,
-                                         zero_stage, trace_id=trace_id)
+                                         zero_stage, workload,
+                                         trace_id=trace_id)
         if job is not None:
             job.done.wait()
             if job.error is not None:
@@ -340,6 +350,7 @@ class PredictionService:
 
     def _admit(self, description: InputDescription,
                granularity: Granularity, zero_stage: int,
+               workload: InferenceWorkload | None = None,
                trace_id: str | None = None,
                ) -> tuple[DesignPoint | None, _Job | None, str]:
         """Route one prediction to the cache, an in-flight job, or a
@@ -349,7 +360,8 @@ class PredictionService:
         the *leader* that coalesced followers point at)."""
         key = fingerprint(description.model, description.plan,
                           description.training, description.system,
-                          granularity, zero_stage=zero_stage)
+                          granularity, zero_stage=zero_stage,
+                          workload=workload)
         with self._inflight_lock:
             point = self.cache.get(key)
             if point is not None:
@@ -360,7 +372,7 @@ class PredictionService:
                 self._dedup_coalesced.increment()
                 return None, job, "coalesced"
             job = _Job(description=description, granularity=granularity,
-                       zero_stage=zero_stage, key=key,
+                       zero_stage=zero_stage, key=key, workload=workload,
                        trace_id=trace_id, admitted_unix=time.time())
             self._inflight[key] = job
             self._dedup_leaders.increment()
@@ -385,6 +397,17 @@ class PredictionService:
         """
         if not point.feasible:
             raise InfeasibleConfigError(point.infeasible_reason)
+        if point.workload == "inference":
+            return {
+                "workload": "inference",
+                "ttft_s": point.ttft_s,
+                "tpot_s": point.tpot_s,
+                "tokens_per_s": point.tokens_per_s,
+                "memory_per_gpu": point.memory_gib * GIB,
+                "num_gpus": point.plan.total_gpus,
+                "num_replicas": point.plan.data,
+                "served": {"source": source},
+            }
         model = description.model
         training = description.training
         tokens = training.tokens_per_iteration(model)
@@ -429,12 +452,14 @@ class PredictionService:
             job.batch_size = len(jobs)
         groups: dict[str, list[_Job]] = {}
         for job in jobs:
-            group_key = json.dumps(
-                {"model": job.description.model.to_dict(),
-                 "training": job.description.training.to_dict(),
-                 "system": job.description.system.to_dict(),
-                 "granularity": job.granularity.value,
-                 "zero_stage": job.zero_stage}, sort_keys=True)
+            key_parts = {"model": job.description.model.to_dict(),
+                         "training": job.description.training.to_dict(),
+                         "system": job.description.system.to_dict(),
+                         "granularity": job.granularity.value,
+                         "zero_stage": job.zero_stage}
+            if job.workload is not None:
+                key_parts["workload"] = job.workload.to_dict()
+            group_key = json.dumps(key_parts, sort_keys=True)
             groups.setdefault(group_key, []).append(job)
         for members in groups.values():
             self._execute_group(members)
@@ -475,6 +500,31 @@ class PredictionService:
         vtrain = self._vtrain_for(jobs[0].description,
                                   jobs[0].granularity,
                                   jobs[0].zero_stage)
+        if jobs[0].workload is not None:
+            # Inference jobs: two small phase-graph replays each; the
+            # shared structure cache already collapses repeat
+            # topologies, so there is no batched-replay path to ride.
+            workload = jobs[0].workload
+            for job in jobs:
+                try:
+                    job.description.validate()
+                    prediction = vtrain.predict_inference(
+                        model, job.description.plan, workload)
+                except (InfeasibleConfigError, ConfigError) as exc:
+                    job.point = DesignPoint(plan=job.description.plan,
+                                            feasible=False,
+                                            infeasible_reason=str(exc),
+                                            workload="inference")
+                    continue
+                job.point = DesignPoint(
+                    plan=job.description.plan, feasible=True,
+                    iteration_time=prediction.decode_step_time,
+                    memory_gib=prediction.memory_per_gpu / GIB,
+                    workload="inference",
+                    tokens_per_s=prediction.tokens_per_second,
+                    ttft_s=prediction.prefill_time,
+                    tpot_s=prediction.decode_step_time)
+            return
         survivors: list[_Job] = []
         entries = []
         for job in jobs:
@@ -516,8 +566,8 @@ class PredictionService:
         parsed = [self._parse_predict(entry) for entry in requests]
         admissions = [self._admit(*inputs) for inputs in parsed]
         rows: list[dict[str, Any]] = []
-        for (description, _, _), (point, job, source) in zip(parsed,
-                                                             admissions):
+        for (description, _, _, _), (point, job, source) in zip(parsed,
+                                                                admissions):
             try:
                 if job is not None:
                     job.done.wait()

@@ -36,15 +36,18 @@ from repro.graph.builder import (Granularity, GraphBuilder,
                                  structure_cache_put)
 from repro.graph.structure import ExecutionGraph, GraphStructure
 from repro.hardware.kernels import DeviceModel
-from repro.memory.footprint import (MemoryFootprint, check_memory,
+from repro.memory.footprint import (MemoryFootprint, check_inference_memory,
+                                    check_memory, inference_memory_footprint,
                                     memory_footprint)
 from repro.network.model import nccl_model_for
 from repro.profiling.cupti import CuptiTracer
 from repro.profiling.lookup import OperatorToTaskTable
 from repro.profiling.nccl import NcclModel
 from repro.sim.engine import simulate_retimed, simulate_retimed_batch
-from repro.sim.results import (IterationPrediction, SimulationResult,
-                               TrainingEstimate)
+from repro.sim.results import (InferencePrediction, IterationPrediction,
+                               SimulationResult, TrainingEstimate)
+from repro.workload import (DECODE, PREFILL, InferenceWorkload,
+                            TrainingWorkload, Workload)
 
 
 @dataclass(frozen=True)
@@ -184,7 +187,9 @@ class VTrain:
         return builder.build()
 
     def prepare(self, model: ModelConfig, plan: ParallelismConfig,
-                training: TrainingConfig) -> PreparedPlan:
+                training: TrainingConfig | None, *,
+                workload: InferenceWorkload | None = None,
+                phase: str | None = None) -> PreparedPlan:
         """Compiled structure + durations for one plan, ready to replay.
 
         Consults the process-wide structure cache: on a hit only the
@@ -193,11 +198,16 @@ class VTrain:
         compiled, and cached for every later predict that shares its
         structural fingerprint — across micro-batch sizes, parallel
         degrees, systems, and VTrain instances alike.
+
+        Pass ``workload``/``phase`` together to compile an inference
+        phase graph (prefill or decode) instead of the training
+        iteration graph; ``training`` may then be ``None``.
         """
         tick = time.perf_counter()
         with obs.span("builder_init", granularity=self.granularity.value):
             builder = GraphBuilder(model, self.system, plan, training,
-                                   self.lookup, self.nccl, self.granularity)
+                                   self.lookup, self.nccl, self.granularity,
+                                   workload=workload, phase=phase)
         builder_init_s = time.perf_counter() - tick
         key = builder.structure_key
         structure = structure_cache_get(key)
@@ -245,14 +255,33 @@ class VTrain:
     # Prediction
     # ------------------------------------------------------------------
     def predict(self, model: ModelConfig, plan: ParallelismConfig,
-                training: TrainingConfig, *,
-                record_timeline: bool = False) -> IterationPrediction:
-        """Predict single-iteration training time for one design point.
+                training: TrainingConfig | None = None, *,
+                workload: Workload | None = None,
+                record_timeline: bool = False,
+                ) -> IterationPrediction | InferencePrediction:
+        """Predict one design point's latency for its workload.
+
+        The default workload is training — ``predict(model, plan,
+        training)`` is byte-for-byte the classic single-iteration
+        path and returns an :class:`IterationPrediction`. Passing
+        ``workload=TrainingWorkload(...)`` is the same path with the
+        training shape drawn from the workload object. Passing an
+        :class:`~repro.workload.InferenceWorkload` dispatches to
+        :meth:`predict_inference` and returns an
+        :class:`InferencePrediction`.
 
         Raises:
             InfeasibleConfigError: Structural violation, or (when memory
                 checking is enabled) per-GPU memory overflow.
         """
+        if isinstance(workload, InferenceWorkload):
+            return self.predict_inference(model, plan, workload,
+                                          record_timeline=record_timeline)
+        if isinstance(workload, TrainingWorkload):
+            training = workload.training
+        if training is None:
+            raise SimulationError(
+                "predict() needs a TrainingConfig (or a workload)")
         with self._stats_lock:
             self.num_predictions += 1
         started = time.perf_counter()
@@ -293,6 +322,59 @@ class VTrain:
             total_s=total_s,
             structure_cache_hit=prepared.structure_cache_hit)
         return self._prediction(model, plan, training, footprint, result)
+
+    def predict_inference(self, model: ModelConfig, plan: ParallelismConfig,
+                          workload: InferenceWorkload, *,
+                          record_timeline: bool = False,
+                          ) -> InferencePrediction:
+        """Predict serving latencies for one static-batch design point.
+
+        Replays two phase graphs through the shared structure cache: the
+        prefill graph (full-prompt pipelined forward; makespan is the
+        time to first token) and the decode-step graph (single-token
+        forward with KV-scaled attention; makespan is the time per
+        output token). ``plan.data`` is read as the number of
+        data-parallel server replicas — it multiplies throughput, never
+        latency, the vLLM-style TP-vs-DP trade-off.
+
+        Raises:
+            InfeasibleConfigError: Structural violation, or (when memory
+                checking is enabled) weights + KV cache exceeding HBM.
+        """
+        with self._stats_lock:
+            self.num_predictions += 1
+        with obs.span(
+                "predict_inference",
+                plan=f"t{plan.tensor} d{plan.data} p{plan.pipeline}"):
+            with obs.span("memory_check"):
+                if self.check_memory_feasibility:
+                    footprint = check_inference_memory(model, plan, workload,
+                                                       self.system)
+                else:
+                    footprint = inference_memory_footprint(model, plan,
+                                                           workload)
+            phases = {}
+            for phase in (PREFILL, DECODE):
+                prepared = self.prepare(model, plan, None,
+                                        workload=workload, phase=phase)
+                with obs.span("replay", phase=phase,
+                              tasks=prepared.structure.num_tasks):
+                    phases[phase] = simulate_retimed(
+                        prepared.structure, prepared.durations,
+                        record_timeline=record_timeline,
+                        metadata=prepared.metadata)
+        return InferencePrediction(
+            prefill_time=phases[PREFILL].iteration_time,
+            decode_step_time=phases[DECODE].iteration_time,
+            batch_size=workload.batch_size,
+            prompt_len=workload.prompt_len,
+            gen_len=workload.gen_len,
+            num_replicas=plan.data,
+            num_gpus=plan.total_gpus,
+            memory_per_gpu=footprint.total,
+            prefill_simulation=phases[PREFILL],
+            decode_simulation=phases[DECODE],
+        )
 
     @staticmethod
     def _observe_replay(tasks: int, columns: int, elapsed: float) -> None:

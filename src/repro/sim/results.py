@@ -119,6 +119,76 @@ class IterationPrediction:
 
 
 @dataclass(frozen=True)
+class InferencePrediction:
+    """vTrain's answer for one serving design point.
+
+    One prefill-graph replay (time-to-first-token) plus one decode-step
+    replay (time-per-output-token) characterise a static serving plan:
+    a full request costs ``prefill + gen_len * decode_step`` seconds and
+    the replica sustains ``batch_size / decode_step`` output tokens per
+    second once saturated. Data parallelism replicates servers —
+    ``num_replicas`` scales throughput, never latency.
+
+    Attributes:
+        prefill_time: Prefill-graph makespan — time to first token (s).
+        decode_step_time: Decode-step-graph makespan — time per output
+            token (s).
+        batch_size: Requests served concurrently *per replica*.
+        prompt_len: Prompt tokens per request.
+        gen_len: Generated tokens per request.
+        num_replicas: Data-parallel server replicas.
+        num_gpus: Total GPUs across all replicas.
+        memory_per_gpu: Peak per-GPU memory footprint (bytes),
+            weights + KV cache + working set.
+        prefill_simulation: Raw Algorithm-1 result for the prefill graph.
+        decode_simulation: Raw Algorithm-1 result for the decode graph.
+    """
+
+    prefill_time: float
+    decode_step_time: float
+    batch_size: int
+    prompt_len: int
+    gen_len: int
+    num_replicas: int
+    num_gpus: int
+    memory_per_gpu: float
+    prefill_simulation: SimulationResult
+    decode_simulation: SimulationResult
+
+    @property
+    def time_to_first_token(self) -> float:
+        """Alias for :attr:`prefill_time` (the serving-world TTFT)."""
+        return self.prefill_time
+
+    @property
+    def time_per_output_token(self) -> float:
+        """Alias for :attr:`decode_step_time` (the serving-world TPOT)."""
+        return self.decode_step_time
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Aggregate output-token throughput across all replicas."""
+        if self.decode_step_time <= 0:
+            return 0.0
+        return self.batch_size * self.num_replicas / self.decode_step_time
+
+    @property
+    def request_latency(self) -> float:
+        """End-to-end latency of one request (prefill + all decodes)."""
+        return self.prefill_time + self.gen_len * self.decode_step_time
+
+    def cost_per_million_tokens(self, dollars_per_hour: float) -> float:
+        """Serving cost per million output tokens at a given fleet rate.
+
+        ``dollars_per_hour`` is for the *whole fleet* (all
+        ``num_gpus``); divide by throughput to price a token.
+        """
+        if self.tokens_per_second <= 0:
+            return float("inf")
+        return dollars_per_hour / 3600.0 / self.tokens_per_second * 1e6
+
+
+@dataclass(frozen=True)
 class TrainingEstimate:
     """End-to-end wall-clock and monetary cost of a training run.
 

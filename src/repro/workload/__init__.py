@@ -1,0 +1,49 @@
+"""Workload layer: training and inference step descriptions.
+
+See :mod:`repro.workload.base` for the protocol and the bit-identical
+training wrapper, :mod:`repro.workload.inference` for the serving
+(prefill/decode) workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+from repro.workload.base import (INFERENCE, TRAINING, TrainingWorkload,
+                                 Workload)
+from repro.workload.inference import (DECODE, INFERENCE_PHASES,
+                                      InferenceWorkload, PREFILL)
+
+__all__ = [
+    "DECODE",
+    "INFERENCE",
+    "INFERENCE_PHASES",
+    "InferenceWorkload",
+    "PREFILL",
+    "TRAINING",
+    "TrainingWorkload",
+    "Workload",
+    "workload_from_dict",
+]
+
+
+def workload_from_dict(
+        payload: Mapping[str, Any] | None) -> InferenceWorkload | None:
+    """Parse a serialised workload envelope.
+
+    Returns ``None`` for the default training workload (absent payload
+    or ``kind: training`` — training shape lives in the separate
+    :class:`~repro.config.parallelism.TrainingConfig`), an
+    :class:`InferenceWorkload` for ``kind: inference``.
+    """
+    if payload is None:
+        return None
+    if not isinstance(payload, Mapping):
+        raise ConfigError(f"workload must be a mapping, got {payload!r}")
+    kind = payload.get("kind", TRAINING)
+    if kind == TRAINING:
+        return None
+    if kind == INFERENCE:
+        return InferenceWorkload.from_dict(payload)
+    raise ConfigError(f"unknown workload kind {kind!r}")

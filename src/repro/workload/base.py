@@ -1,0 +1,73 @@
+"""Workload abstraction: what one simulated "step" means.
+
+vTrain's original scope is one *training* iteration; the workload layer
+generalises the simulator input so the same device, network, and memory
+models can also answer serving questions (Charon's unified
+training + inference direction, PAPERS.md). A workload names the kind
+of step being simulated and carries its shape knobs:
+
+* :class:`TrainingWorkload` wraps today's :class:`TrainingConfig` path
+  bit-identically — passing it is exactly equivalent to the classic
+  ``predict(model, plan, training)`` call;
+* :class:`~repro.workload.inference.InferenceWorkload` describes a
+  serving batch (prompt/generation lengths, continuous batching) and is
+  simulated as a prefill graph plus a steady-state decode-step graph.
+
+Serialisation follows the repo's omit-default discipline: the training
+workload is the default everywhere, so configs, fingerprints, and cache
+entries only mention a workload when it is *not* training — which keeps
+every pre-workload fingerprint and checkpoint byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+from repro.config.parallelism import TrainingConfig
+from repro.errors import ConfigError
+
+#: Workload kind tags (the ``kind`` discriminator in serialised form).
+TRAINING = "training"
+INFERENCE = "inference"
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Anything the simulator can treat as one step of work."""
+
+    @property
+    def kind(self) -> str:
+        """Discriminator tag (``"training"`` or ``"inference"``)."""
+        ...
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form carrying the ``kind`` tag."""
+        ...
+
+
+@dataclass(frozen=True)
+class TrainingWorkload:
+    """The classic one-training-iteration workload.
+
+    Wrapping a :class:`TrainingConfig` in this class and passing it via
+    ``predict(workload=...)`` dispatches to the exact same code path as
+    the positional ``training`` argument — graphs, fingerprints, and
+    predictions are bit-identical.
+    """
+
+    training: TrainingConfig
+
+    @property
+    def kind(self) -> str:
+        return TRAINING
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": TRAINING, "training": self.training.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TrainingWorkload":
+        if payload.get("kind", TRAINING) != TRAINING:
+            raise ConfigError(
+                f"not a training workload: {payload.get('kind')!r}")
+        return cls(training=TrainingConfig.from_dict(payload["training"]))

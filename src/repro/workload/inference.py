@@ -1,0 +1,138 @@
+"""Inference (serving) workload: prefill + decode phase model.
+
+An LLM serving step decomposes into two phases with very different
+arithmetic intensity (Charon, PAPERS.md; the vLLM serving guidance in
+SNIPPETS.md):
+
+* **prefill** — the whole prompt runs through one full-sequence forward
+  pass (compute-bound; its makespan is the time-to-first-token);
+* **decode** — each output token runs a single-token forward pass whose
+  attention reads the accumulated KV cache (memory-bound; its makespan
+  is the time-per-output-token).
+
+The workload is *per replica*: ``batch_size`` sequences are served
+together by one pipeline of ``t x p`` GPUs, and data parallelism
+(``plan.data``) replicates that pipeline into independent servers —
+more TP helps latency, more replicas help throughput, which is exactly
+the trade-off the serving DSE sweeps.
+
+Internally an inference workload borrows the training machinery by
+synthesising a proxy :class:`TrainingConfig` whose per-replica batch
+equals ``batch_size``; plan validation, micro-batching, and the
+pipeline schedules then apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.config.parallelism import TrainingConfig
+from repro.errors import ConfigError
+from repro.workload.base import INFERENCE
+
+#: Phase tags. These double as the task ``kind`` of inference compute
+#: tasks, so exported Chrome traces carry ``prefill``/``decode`` as
+#: event categories.
+PREFILL = "prefill"
+DECODE = "decode"
+INFERENCE_PHASES = (PREFILL, DECODE)
+
+
+@dataclass(frozen=True)
+class InferenceWorkload:
+    """One serving batch: prompt ingestion plus token generation.
+
+    Attributes:
+        batch_size: Sequences served concurrently per replica.
+        prompt_len: Prompt tokens per sequence (prefill length).
+        gen_len: Output tokens generated per sequence.
+        continuous_batching: Model the steady state of a continuously
+            batched server (requests at staggered generation depths, so
+            the representative decode KV length is the *mean*
+            ``prompt + gen/2``) instead of a synchronised static batch
+            (every sequence at full depth, ``prompt + gen``).
+    """
+
+    batch_size: int
+    prompt_len: int
+    gen_len: int
+    continuous_batching: bool = False
+
+    @property
+    def kind(self) -> str:
+        return INFERENCE
+
+    def __post_init__(self) -> None:
+        for field in ("batch_size", "prompt_len", "gen_len"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigError(
+                    f"{field} must be a positive int, got {value!r}")
+
+    # ------------------------------------------------------------------
+    # Derived lengths
+    # ------------------------------------------------------------------
+    @property
+    def max_kv_length(self) -> int:
+        """KV entries per sequence at the end of generation — the
+        length the KV cache must be provisioned for (memory bound)."""
+        return self.prompt_len + self.gen_len
+
+    @property
+    def decode_kv_length(self) -> int:
+        """Representative KV length of one decode step (latency model).
+
+        Continuous batching keeps the batch at staggered depths, so the
+        steady-state step reads the mean KV length; a static batch
+        is gated by its deepest (final) step.
+        """
+        if self.continuous_batching:
+            return self.prompt_len + self.gen_len // 2
+        return self.prompt_len + self.gen_len
+
+    @property
+    def tokens_per_request(self) -> int:
+        """Output tokens produced per sequence (throughput accounting)."""
+        return self.gen_len
+
+    def training_proxy(self, data_parallel: int) -> TrainingConfig:
+        """Proxy :class:`TrainingConfig` for plan validation/micro-batching.
+
+        The global batch is ``batch_size * data_parallel`` so each
+        replica serves exactly ``batch_size`` sequences and the existing
+        ``d | B`` / ``m | B/d`` divisibility rules carry over unchanged.
+        """
+        if data_parallel < 1:
+            raise ConfigError("data_parallel must be >= 1")
+        return TrainingConfig(
+            global_batch_size=self.batch_size * data_parallel)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "kind": INFERENCE,
+            "batch_size": self.batch_size,
+            "prompt_len": self.prompt_len,
+            "gen_len": self.gen_len,
+        }
+        if self.continuous_batching:
+            payload["continuous_batching"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InferenceWorkload":
+        if payload.get("kind", INFERENCE) != INFERENCE:
+            raise ConfigError(
+                f"not an inference workload: {payload.get('kind')!r}")
+        try:
+            return cls(batch_size=payload["batch_size"],
+                       prompt_len=payload["prompt_len"],
+                       gen_len=payload["gen_len"],
+                       continuous_batching=bool(
+                           payload.get("continuous_batching", False)))
+        except KeyError as exc:
+            raise ConfigError(
+                f"inference workload missing field {exc.args[0]!r}") from exc

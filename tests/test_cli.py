@@ -229,3 +229,68 @@ class TestExampleAndPresets:
         out = capsys.readouterr().out
         assert "mt-nlg-530b" in out
         assert "gpt-3-175b" in out
+
+
+class TestInferenceCli:
+    def test_predict_inference_prints_serving_report(
+            self, description_file, capsys):
+        assert main(["predict", str(description_file),
+                     "--workload", "inference", "--batch-size", "8",
+                     "--prompt-len", "128", "--gen-len", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "TTFT (prefill)" in out
+        assert "TPOT (decode)" in out
+        assert "decode tokens/s" in out
+        assert "Mtok" in out
+
+    def test_inference_flags_require_inference_workload(
+            self, description_file, capsys):
+        assert main(["predict", str(description_file),
+                     "--batch-size", "8"]) == 1
+        err = capsys.readouterr().err
+        assert "--workload inference" in err
+
+    def test_predict_inference_timing_flag_rejected(
+            self, description_file, capsys):
+        assert main(["predict", str(description_file),
+                     "--workload", "inference", "--timing"]) == 1
+
+    def test_predict_inference_writes_decode_trace(
+            self, description_file, tmp_path, capsys, restore_obs):
+        trace_path = tmp_path / "decode.json"
+        assert main(["predict", str(description_file),
+                     "--workload", "inference",
+                     "--trace", str(trace_path)]) == 0
+        trace = load_trace(trace_path)
+        categories = {event.get("cat") for event in trace["traceEvents"]
+                      if event.get("ph") == "X"}
+        assert "decode" in categories
+        assert trace["otherData"]["workload"] == "inference"
+        assert trace["otherData"]["phase"] == "decode"
+
+    def test_dse_inference_prints_pareto_summary(self, capsys):
+        assert main(["dse", "gpt-3-175b", "--workload", "inference",
+                     "--batch-size", "8", "--prompt-len", "128",
+                     "--gen-len", "64", "--max-gpus", "16",
+                     "--max-data", "2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "tok/s" in out
+        assert "$/Mtok" in out
+        assert "pareto" in out.lower()
+
+    def test_dse_inference_writes_serving_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "serving.csv"
+        assert main(["dse", "gpt-3-175b", "--workload", "inference",
+                     "--batch-size", "8", "--prompt-len", "128",
+                     "--gen-len", "64", "--max-gpus", "16",
+                     "--max-data", "2", "--quiet",
+                     "--csv", str(csv_path)]) == 0
+        header = csv_path.read_text().splitlines()[0]
+        assert "tokens_per_s" in header
+        assert "cost_per_million_tokens_usd" in header
+
+    def test_dse_inference_rejects_virtual_stages(self, capsys):
+        assert main(["dse", "gpt-3-175b", "--workload", "inference",
+                     "--batch-size", "8", "--prompt-len", "128",
+                     "--gen-len", "64", "--max-gpus", "8",
+                     "--virtual-stages", "2"]) == 1

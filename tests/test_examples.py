@@ -38,6 +38,18 @@ class TestFastExamples:
         assert "fat-tree:8" in out
         assert "hierarchical" in out or "ring" in out
 
+    def test_serving_whatif(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setattr(sys, "argv",
+                            ["serving_whatif.py",
+                             str(tmp_path / "gpt3_serving")])
+        load_example("serving_whatif").main()
+        out = capsys.readouterr().out
+        assert "TTFT (ms)" in out
+        assert "TPOT (ms)" in out
+        assert "$/Mtok" in out
+        assert (tmp_path / "gpt3_serving_prefill_trace.json").exists()
+        assert (tmp_path / "gpt3_serving_decode_trace.json").exists()
+
     def test_serve_clients(self, capsys):
         load_example("serve_clients").main()
         out = capsys.readouterr().out

@@ -1,0 +1,163 @@
+"""Tests for the KV-cache memory model behind serving feasibility.
+
+Inference feasibility swaps the training footprint's gradient and
+optimizer terms for a KV cache sized by the paper formula
+
+    ``kv = 2 * (L/p) * (prompt + gen) * batch * (h/t) * FP16_BYTES``
+
+and the suite pins that formula analytically: the feasibility verdict
+must flip at exactly the generation length where the closed-form
+footprint crosses the usable-HBM budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config.model import ModelConfig
+from repro.config.parallelism import ParallelismConfig
+from repro.config.system import single_node
+from repro.errors import InfeasibleConfigError
+from repro.memory.footprint import (FP16_BYTES, USABLE_MEMORY_FRACTION,
+                                    check_inference_memory,
+                                    fits_inference_memory,
+                                    inference_memory_footprint,
+                                    memory_footprint)
+from repro.sim.estimator import VTrain
+from repro.workload import InferenceWorkload
+
+
+@pytest.fixture
+def plan() -> ParallelismConfig:
+    return ParallelismConfig(tensor=2, data=2, pipeline=2,
+                             micro_batch_size=2)
+
+
+@pytest.fixture
+def workload() -> InferenceWorkload:
+    return InferenceWorkload(batch_size=8, prompt_len=128, gen_len=64)
+
+
+def kv_bytes(model: ModelConfig, plan: ParallelismConfig,
+             workload: InferenceWorkload) -> float:
+    """The paper formula, written independently of the implementation."""
+    layers_per_stage = model.num_layers // plan.pipeline
+    return (2.0 * layers_per_stage * workload.max_kv_length
+            * workload.batch_size * (model.hidden_size / plan.tensor)
+            * FP16_BYTES)
+
+
+class TestInferenceFootprint:
+    def test_kv_term_matches_the_paper_formula(self, tiny_model, plan,
+                                               workload):
+        footprint = inference_memory_footprint(tiny_model, plan, workload)
+        assert footprint.kv_cache == kv_bytes(tiny_model, plan, workload)
+
+    def test_no_gradients_or_optimizer_states(self, tiny_model, plan,
+                                              workload):
+        footprint = inference_memory_footprint(tiny_model, plan, workload)
+        assert footprint.gradients == 0.0
+        assert footprint.optimizer_states == 0.0
+        assert footprint.weights > 0.0
+
+    def test_total_includes_the_kv_cache(self, tiny_model, plan, workload):
+        footprint = inference_memory_footprint(tiny_model, plan, workload)
+        assert footprint.total == (footprint.weights
+                                   + footprint.activations
+                                   + footprint.kv_cache)
+
+    def test_training_footprint_keeps_kv_at_zero(self, tiny_model, plan,
+                                                 training):
+        """Back-compat: the training path never grows a KV term."""
+        footprint = memory_footprint(tiny_model, plan, training)
+        assert footprint.kv_cache == 0.0
+
+    def test_continuous_batching_does_not_shrink_the_cache(
+            self, tiny_model, plan):
+        """Continuous batching changes the decode *latency* depth, not
+        the provisioning bound — memory is sized for full depth."""
+        static = InferenceWorkload(batch_size=8, prompt_len=128,
+                                   gen_len=512)
+        continuous = InferenceWorkload(batch_size=8, prompt_len=128,
+                                       gen_len=512,
+                                       continuous_batching=True)
+        assert (inference_memory_footprint(tiny_model, plan,
+                                           continuous).kv_cache
+                == inference_memory_footprint(tiny_model, plan,
+                                              static).kv_cache)
+
+    @given(tensor=st.sampled_from([1, 2, 4]),
+           pipeline=st.sampled_from([1, 2, 4]))
+    def test_kv_cache_shards_across_tp_and_pp(self, tensor, pipeline):
+        """TP shards heads (h/t), PP shards layers (L/p): doubling
+        either degree halves the per-GPU cache."""
+        model = ModelConfig(hidden_size=512, num_layers=4, seq_length=128,
+                            num_heads=8, vocab_size=32_000, name="tiny")
+        workload = InferenceWorkload(batch_size=8, prompt_len=128,
+                                     gen_len=64)
+        plan = ParallelismConfig(tensor=tensor, data=1, pipeline=pipeline,
+                                 micro_batch_size=8)
+        base = ParallelismConfig(tensor=1, data=1, pipeline=1,
+                                 micro_batch_size=8)
+        sharded = inference_memory_footprint(model, plan, workload)
+        unsharded = inference_memory_footprint(model, base, workload)
+        assert sharded.kv_cache == unsharded.kv_cache / (tensor * pipeline)
+
+
+class TestFeasibilityBound:
+    def test_feasibility_flips_at_the_analytic_kv_bound(self, tiny_model):
+        """Solve the closed form for the largest generation length that
+        fits, then check the verdict flips at exactly that point."""
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=1,
+                                 micro_batch_size=8)
+        system = single_node()
+        budget = system.gpu.memory_bytes * USABLE_MEMORY_FRACTION
+        prompt_len, batch = 128, 8
+        probe = InferenceWorkload(batch_size=batch, prompt_len=prompt_len,
+                                  gen_len=1)
+        footprint = inference_memory_footprint(tiny_model, plan, probe)
+        fixed = footprint.weights + footprint.activations
+        per_token = (2.0 * tiny_model.num_layers * batch
+                     * tiny_model.hidden_size * FP16_BYTES)
+        max_gen = int((budget - fixed) / per_token) - prompt_len
+        assert max_gen > 0
+        at_bound = InferenceWorkload(batch_size=batch,
+                                     prompt_len=prompt_len,
+                                     gen_len=max_gen)
+        past_bound = InferenceWorkload(batch_size=batch,
+                                       prompt_len=prompt_len,
+                                       gen_len=max_gen + 1)
+        assert fits_inference_memory(tiny_model, plan, at_bound, system)
+        assert not fits_inference_memory(tiny_model, plan, past_bound,
+                                         system)
+
+    def test_check_raises_with_a_diagnosable_message(self, tiny_model):
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=1,
+                                 micro_batch_size=8)
+        oversized = InferenceWorkload(batch_size=8, prompt_len=128,
+                                      gen_len=10_000_000)
+        with pytest.raises(InfeasibleConfigError, match="serving plan"):
+            check_inference_memory(tiny_model, plan, oversized,
+                                   single_node())
+
+    def test_check_returns_footprint_when_feasible(self, tiny_model, plan,
+                                                   workload):
+        footprint = check_inference_memory(tiny_model, plan, workload,
+                                           single_node())
+        assert footprint.kv_cache == kv_bytes(tiny_model, plan, workload)
+
+    def test_predict_inference_enforces_the_bound(self, tiny_model):
+        """The estimator front door honours the same verdict."""
+        plan = ParallelismConfig(tensor=1, data=1, pipeline=1,
+                                 micro_batch_size=8)
+        vtrain = VTrain(single_node())
+        oversized = InferenceWorkload(batch_size=8, prompt_len=128,
+                                      gen_len=10_000_000)
+        with pytest.raises(InfeasibleConfigError):
+            vtrain.predict_inference(tiny_model, plan, oversized)
+        fits = InferenceWorkload(batch_size=8, prompt_len=128, gen_len=64)
+        prediction = vtrain.predict_inference(tiny_model, plan, fits)
+        assert prediction.memory_per_gpu == inference_memory_footprint(
+            tiny_model, plan, fits).total

@@ -682,3 +682,83 @@ class TestServiceCacheIntegration:
             assert served == expected
         finally:
             svc.close()
+
+
+class TestInferenceServing:
+    """The workload envelope: `predict` with a serialised
+    InferenceWorkload runs the serving path and everything else is
+    untouched."""
+
+    def workload_dict(self) -> dict:
+        return {"kind": "inference", "batch_size": 8, "prompt_len": 128,
+                "gen_len": 64}
+
+    def test_served_equals_direct_predict_inference(self, service):
+        from repro.workload import InferenceWorkload
+        description = tiny_description()
+        payload = service.predict({"description": description.to_dict(),
+                                   "workload": self.workload_dict()})
+        vtrain = VTrain(description.system,
+                        granularity=service.default_granularity)
+        direct = vtrain.predict_inference(
+            description.model, description.plan,
+            InferenceWorkload.from_dict(self.workload_dict()))
+        assert payload["workload"] == "inference"
+        assert payload["ttft_s"] == direct.time_to_first_token
+        assert payload["tpot_s"] == direct.time_per_output_token
+        assert payload["tokens_per_s"] == direct.tokens_per_second
+        assert payload["num_replicas"] == description.plan.data
+
+    def test_repeat_is_served_from_cache(self, service):
+        description = tiny_description()
+        request = {"description": description.to_dict(),
+                   "workload": self.workload_dict()}
+        first = service.predict(request)
+        second = service.predict(request)
+        assert first["served"]["source"] == "computed"
+        assert second["served"]["source"] == "cache"
+        for field in ("ttft_s", "tpot_s", "tokens_per_s"):
+            assert second[field] == first[field]
+
+    def test_training_and_inference_do_not_share_cache_rows(self, service):
+        description = tiny_description()
+        inference = service.predict({"description": description.to_dict(),
+                                     "workload": self.workload_dict()})
+        training = service.predict({"description": description.to_dict()})
+        assert training["served"]["source"] == "computed"
+        assert "ttft_s" not in training
+        assert training["iteration_time"] != inference["tpot_s"]
+
+    def test_explicit_training_envelope_is_the_classic_path(self, service):
+        description = tiny_description()
+        classic = service.predict({"description": description.to_dict()})
+        tagged = service.predict({"description": description.to_dict(),
+                                  "workload": {"kind": "training"}})
+        assert tagged["served"]["source"] == "cache"
+        assert tagged["iteration_time"] == classic["iteration_time"]
+
+    def test_malformed_envelope_is_rejected(self, service):
+        description = tiny_description()
+        with pytest.raises(ReproError):
+            service.predict({"description": description.to_dict(),
+                             "workload": {"kind": "finetune"}})
+
+    def test_envelope_rides_the_wire_unchanged(self):
+        """Client → stdio transport → daemon: the envelope arrives
+        intact and the serving payload comes back."""
+        client_to_server = io.BytesIO()
+        request = protocol.encode(protocol.request(
+            1, "predict", {"description": tiny_description().to_dict(),
+                           "workload": self.workload_dict()}))
+        client_to_server.write(request)
+        client_to_server.seek(0)
+        server_to_client = io.BytesIO()
+        service = PredictionService(batch_window_s=0.0)
+        try:
+            serve_stdio(service, client_to_server, server_to_client)
+        finally:
+            service.close()
+        server_to_client.seek(0)
+        reply = protocol.read_message(server_to_client)
+        assert reply["result"]["workload"] == "inference"
+        assert reply["result"]["tokens_per_s"] > 0

@@ -1,0 +1,131 @@
+"""Tests for ``repro.workload`` — the workload abstraction layer.
+
+The contract under test: the training workload is the default
+everywhere (omit-default serialisation keeps pre-workload configs and
+fingerprints valid), and the inference workload carries exactly the
+serving-shape knobs the prefill/decode graphs and KV-cache memory
+model need.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config.parallelism import TrainingConfig
+from repro.errors import ConfigError
+from repro.workload import (DECODE, INFERENCE, INFERENCE_PHASES, PREFILL,
+                            TRAINING, InferenceWorkload, TrainingWorkload,
+                            Workload, workload_from_dict)
+
+
+class TestTrainingWorkload:
+    def test_kind_tag(self, training):
+        assert TrainingWorkload(training).kind == TRAINING
+
+    def test_satisfies_protocol(self, training):
+        assert isinstance(TrainingWorkload(training), Workload)
+
+    def test_round_trip(self, training):
+        workload = TrainingWorkload(training)
+        rebuilt = TrainingWorkload.from_dict(workload.to_dict())
+        assert rebuilt == workload
+
+    def test_from_dict_rejects_wrong_kind(self):
+        with pytest.raises(ConfigError):
+            TrainingWorkload.from_dict({"kind": "inference"})
+
+
+class TestInferenceWorkload:
+    def test_kind_tag(self):
+        workload = InferenceWorkload(batch_size=8, prompt_len=128,
+                                     gen_len=64)
+        assert workload.kind == INFERENCE
+        assert isinstance(workload, Workload)
+
+    def test_phase_tags(self):
+        assert INFERENCE_PHASES == (PREFILL, DECODE)
+        assert PREFILL == "prefill" and DECODE == "decode"
+
+    @pytest.mark.parametrize("field", ["batch_size", "prompt_len",
+                                       "gen_len"])
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "8"])
+    def test_shape_knobs_must_be_positive_ints(self, field, bad):
+        shape = {"batch_size": 8, "prompt_len": 128, "gen_len": 64}
+        shape[field] = bad
+        with pytest.raises(ConfigError):
+            InferenceWorkload(**shape)
+
+    def test_max_kv_length_is_the_provisioning_bound(self):
+        workload = InferenceWorkload(batch_size=4, prompt_len=100,
+                                     gen_len=28)
+        assert workload.max_kv_length == 128
+
+    def test_static_batch_decodes_at_full_depth(self):
+        workload = InferenceWorkload(batch_size=4, prompt_len=100,
+                                     gen_len=28)
+        assert workload.decode_kv_length == workload.max_kv_length
+
+    def test_continuous_batching_decodes_at_mean_depth(self):
+        workload = InferenceWorkload(batch_size=4, prompt_len=100,
+                                     gen_len=28, continuous_batching=True)
+        assert workload.decode_kv_length == 100 + 28 // 2
+        assert workload.max_kv_length == 128  # memory bound unchanged
+
+    def test_tokens_per_request_counts_generated_tokens(self):
+        workload = InferenceWorkload(batch_size=4, prompt_len=100,
+                                     gen_len=28)
+        assert workload.tokens_per_request == 28
+
+    @given(batch=st.integers(1, 64), replicas=st.integers(1, 8))
+    def test_training_proxy_scales_with_replicas(self, batch, replicas):
+        workload = InferenceWorkload(batch_size=batch, prompt_len=32,
+                                     gen_len=8)
+        proxy = workload.training_proxy(replicas)
+        assert isinstance(proxy, TrainingConfig)
+        assert proxy.global_batch_size == batch * replicas
+        # Per-replica batch is exactly the serving batch.
+        assert proxy.global_batch_size // replicas == batch
+
+    def test_training_proxy_rejects_nonpositive_replicas(self):
+        workload = InferenceWorkload(batch_size=8, prompt_len=128,
+                                     gen_len=64)
+        with pytest.raises(ConfigError):
+            workload.training_proxy(0)
+
+    def test_round_trip(self):
+        workload = InferenceWorkload(batch_size=8, prompt_len=128,
+                                     gen_len=64, continuous_batching=True)
+        assert InferenceWorkload.from_dict(workload.to_dict()) == workload
+
+    def test_to_dict_omits_default_continuous_batching(self):
+        payload = InferenceWorkload(batch_size=8, prompt_len=128,
+                                    gen_len=64).to_dict()
+        assert "continuous_batching" not in payload
+        assert payload["kind"] == INFERENCE
+
+    def test_from_dict_rejects_missing_field(self):
+        with pytest.raises(ConfigError):
+            InferenceWorkload.from_dict({"kind": INFERENCE,
+                                         "batch_size": 8})
+
+
+class TestWorkloadFromDict:
+    """The serve-daemon envelope decoder: absent/training → None
+    (classic path), inference → :class:`InferenceWorkload`."""
+
+    def test_absent_means_training_path(self):
+        assert workload_from_dict(None) is None
+
+    def test_training_kind_means_training_path(self):
+        assert workload_from_dict({"kind": TRAINING}) is None
+
+    def test_inference_envelope_decodes(self):
+        workload = InferenceWorkload(batch_size=8, prompt_len=128,
+                                     gen_len=64)
+        assert workload_from_dict(workload.to_dict()) == workload
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            workload_from_dict({"kind": "finetune"})
